@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the engine's core operations.
+
+Unlike the figure benches (which time whole sweeps), these give
+pytest-benchmark proper per-operation statistics: publish throughput per
+method, subscription cost, and the MCS generation kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import DasEngine
+from repro.core.mcs import greedy_mcs_gen, make_universe_for_benchmark
+from repro.experiments.workload import build_workload
+from benchmarks.common import BENCH_SPEC
+
+SPEC = BENCH_SPEC.evolve(n_queries=800, n_history=1200, n_settle=50, n_measure=50)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(SPEC)
+
+
+def prepared_engine(workload, method):
+    engine = workload.make_engine(method)
+    for document in workload.history:
+        engine.publish(document)
+    for query in workload.queries:
+        engine.subscribe(query)
+    for document in workload.settle:
+        engine.publish(document)
+    return engine
+
+
+@pytest.mark.parametrize("method", ["IRT", "BIRT", "IFilter", "GIFilter"])
+def test_publish_throughput(benchmark, workload, method):
+    engine = prepared_engine(workload, method)
+    docs = iter(
+        workload.corpus.documents(
+            5000,
+            first_id=10_000_000,
+            start_time=engine.clock.now + 1.0,
+        )
+    )
+
+    def publish_one():
+        engine.publish(next(docs))
+
+    benchmark.pedantic(publish_one, rounds=40, iterations=1, warmup_rounds=3)
+
+
+def test_subscription_cost(benchmark, workload):
+    engine = prepared_engine(workload, "GIFilter")
+    from repro.core.query import DasQuery
+    from repro.workloads.queries import lqd_queries
+
+    extra = iter(
+        lqd_queries(workload.corpus, 2000, first_id=10_000_000)
+    )
+
+    def subscribe_one():
+        engine.subscribe(next(extra))
+
+    benchmark.pedantic(subscribe_one, rounds=40, iterations=1, warmup_rounds=3)
+
+
+def test_greedy_mcs_gen_kernel(benchmark):
+    universe, query_ids = make_universe_for_benchmark(
+        n_queries=64, n_documents=48, seed=4
+    )
+    result = benchmark(lambda: greedy_mcs_gen(query_ids, universe))
+    assert isinstance(result, list)

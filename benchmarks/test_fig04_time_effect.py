@@ -1,0 +1,20 @@
+"""Figure 4(a, b): document-processing and query-insertion cost over time
+(LQD), for IRT / BIRT / IFilter / GIFilter."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+from repro.experiments.workload import DAS_METHODS
+
+
+def test_fig04_time_effect(benchmark):
+    fig_a, fig_b = benchmark.pedantic(
+        lambda: sweeps.time_effect(BENCH_SPEC, n_intervals=4),
+        rounds=1,
+        iterations=1,
+    )
+    check_figure(fig_a, DAS_METHODS)
+    check_figure(fig_b, DAS_METHODS)
+    save_figure(fig_a)
+    save_figure(fig_b)

@@ -1,0 +1,21 @@
+"""Figure 5(a, b): effect of the number of query keywords."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+from repro.experiments.workload import DAS_METHODS
+
+VALUES = (1, 3, 5, 8)
+
+
+def test_fig05_query_keywords(benchmark):
+    fig_a, fig_b = benchmark.pedantic(
+        lambda: sweeps.query_keywords(BENCH_SPEC, values=VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    check_figure(fig_a, DAS_METHODS)
+    check_figure(fig_b, DAS_METHODS)
+    save_figure(fig_a)
+    save_figure(fig_b)

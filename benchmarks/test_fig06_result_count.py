@@ -1,0 +1,19 @@
+"""Figure 6: effect of the number of maintained results k."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+from repro.experiments.workload import DAS_METHODS
+
+VALUES = (5, 10, 20, 30)
+
+
+def test_fig06_result_count(benchmark):
+    fig = benchmark.pedantic(
+        lambda: sweeps.result_count(BENCH_SPEC, values=VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    check_figure(fig, DAS_METHODS)
+    save_figure(fig)

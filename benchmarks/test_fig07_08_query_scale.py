@@ -1,0 +1,26 @@
+"""Figures 7(a, b) and 8: effect of the number of indexed queries on
+document processing, query insertion and index size."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+from repro.experiments.workload import DAS_METHODS
+
+VALUES = (300, 600, 1200, 2400)
+
+
+def test_fig07_08_query_scale(benchmark):
+    fig_a, fig_b, fig_c = benchmark.pedantic(
+        lambda: sweeps.query_scale(BENCH_SPEC, values=VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    for fig in (fig_a, fig_b, fig_c):
+        check_figure(fig, DAS_METHODS)
+        save_figure(fig)
+    # Index size must grow monotonically with the query count (Figure 8's
+    # linear trend) — deterministic, so safe to assert.
+    for method in DAS_METHODS:
+        sizes = [fig_c.series[method][v] for v in VALUES]
+        assert sizes == sorted(sizes), f"{method} index size not monotone"

@@ -1,0 +1,29 @@
+"""Figure 9(a, b): DAS methods vs DisC and MSInc on SQD."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+from repro.experiments.workload import DAS_METHODS
+
+ALL_METHODS = DAS_METHODS + ("DisC", "MSInc")
+
+
+def test_fig09_other_systems(benchmark):
+    spec = BENCH_SPEC.evolve(query_set="sqd", n_queries=400)
+    fig_a, fig_b = benchmark.pedantic(
+        lambda: sweeps.other_systems(spec), rounds=1, iterations=1
+    )
+    check_figure(fig_a, ALL_METHODS)
+    check_figure(fig_b, ALL_METHODS)
+    save_figure(fig_a)
+    save_figure(fig_b)
+    # The paper's headline: the DAS methods beat the single-query systems
+    # by a wide margin on many standing queries.  DisC re-evaluates every
+    # query over its window periodically, so its gap is structural and
+    # far beyond wall-clock noise; MSInc's O(k²)-per-match gap is real
+    # but smaller, so it is reported rather than asserted.
+    (param,) = fig_a.param_values
+    fastest_das = min(fig_a.series[m][param] for m in DAS_METHODS)
+    assert fig_a.series["DisC"][param] > 3.0 * fastest_das
+    assert fig_a.series["MSInc"][param] > fastest_das

@@ -1,0 +1,19 @@
+"""Figure 10: effect of the number of postings per block."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+
+METHODS = ("BIRT", "IFilter", "GIFilter")
+VALUES = (16, 64, 256, 1024)
+
+
+def test_fig10_block_size(benchmark):
+    fig = benchmark.pedantic(
+        lambda: sweeps.block_size(BENCH_SPEC, values=VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    check_figure(fig, METHODS)
+    save_figure(fig)

@@ -1,0 +1,26 @@
+"""Figure 11(a, b): total per-minute cost vs document/query arrival rate."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+from repro.experiments.workload import DAS_METHODS
+
+VALUES = (25, 50, 100, 200)
+
+
+def test_fig11_arrival_rate(benchmark):
+    fig_a, fig_b = benchmark.pedantic(
+        lambda: sweeps.arrival_rate(BENCH_SPEC, values=VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    check_figure(fig_a, DAS_METHODS)
+    check_figure(fig_b, DAS_METHODS)
+    save_figure(fig_a)
+    save_figure(fig_b)
+    # Per-minute cost grows linearly with the arrival rate by
+    # construction; assert monotonicity.
+    for method in DAS_METHODS:
+        costs = [fig_a.series[method][v] for v in VALUES]
+        assert costs == sorted(costs)

@@ -1,0 +1,19 @@
+"""Figure 12: effect of the relevance/diversity trade-off alpha."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+from repro.experiments.workload import DAS_METHODS
+
+VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_fig12_alpha(benchmark):
+    fig = benchmark.pedantic(
+        lambda: sweeps.alpha_effect(BENCH_SPEC, values=VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    check_figure(fig, DAS_METHODS)
+    save_figure(fig)

@@ -1,0 +1,19 @@
+"""Figure 13: effect of the recency decaying scale."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+from repro.experiments.workload import DAS_METHODS
+
+VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_fig13_decay_scale(benchmark):
+    fig = benchmark.pedantic(
+        lambda: sweeps.decay_scale(BENCH_SPEC, values=VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    check_figure(fig, DAS_METHODS)
+    save_figure(fig)

@@ -1,0 +1,19 @@
+"""Figure 14: effect of the aggregated-term-weight memory budget Φ_max."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+
+METHODS = ("IFilter", "GIFilter")
+VALUES = (2_000, 10_000, 50_000, -1)
+
+
+def test_fig14_phi_max(benchmark):
+    fig = benchmark.pedantic(
+        lambda: sweeps.phi_max(BENCH_SPEC, values=VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    check_figure(fig, METHODS)
+    save_figure(fig)

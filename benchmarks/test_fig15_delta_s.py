@@ -1,0 +1,18 @@
+"""Figure 15: effect of the MCS rebuild threshold δ_s (GIFilter)."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+
+VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_fig15_delta_s(benchmark):
+    fig = benchmark.pedantic(
+        lambda: sweeps.delta_s(BENCH_SPEC, values=VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    check_figure(fig, ("GIFilter",))
+    save_figure(fig)

@@ -1,0 +1,19 @@
+"""Figure 16: effect of the number of distinct document terms."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+from repro.experiments.workload import DAS_METHODS
+
+VALUES = (5, 10, 15, 20)
+
+
+def test_fig16_doc_terms(benchmark):
+    fig = benchmark.pedantic(
+        lambda: sweeps.doc_terms(BENCH_SPEC, values=VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    check_figure(fig, DAS_METHODS)
+    save_figure(fig)

@@ -1,0 +1,19 @@
+"""Figure 17: scalability on the SQD (trending-topic) query set."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+from repro.experiments.workload import DAS_METHODS
+
+VALUES = (150, 300, 600, 1200)
+
+
+def test_fig17_sqd_scale(benchmark):
+    fig = benchmark.pedantic(
+        lambda: sweeps.sqd_scale(BENCH_SPEC, values=VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    check_figure(fig, DAS_METHODS)
+    save_figure(fig)

@@ -1,0 +1,23 @@
+"""Figure 18: DisC runtime vs sliding window size |W_f|."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, check_figure, save_figure
+from repro.experiments import sweeps
+
+VALUES = (250, 500, 1000, 2000)
+
+
+def test_fig18_window_size(benchmark):
+    spec = BENCH_SPEC.evolve(query_set="sqd", n_queries=150)
+    fig = benchmark.pedantic(
+        lambda: sweeps.window_size(spec, values=VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    check_figure(fig, ("DisC",))
+    save_figure(fig)
+    # Larger windows mean more candidates per refresh: cost must trend
+    # upward end-to-end.
+    series = fig.series["DisC"]
+    assert series[VALUES[-1]] >= series[VALUES[0]]

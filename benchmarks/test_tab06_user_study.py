@@ -1,0 +1,34 @@
+"""Table 6: user-study quality proxies for GIFilter / MSInc / DisC."""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SPEC, save_user_study
+from repro.experiments import sweeps
+
+
+def test_tab06_user_study(benchmark):
+    spec = BENCH_SPEC.evolve(n_queries=50)
+    result = benchmark.pedantic(
+        lambda: sweeps.user_study(spec, n_queries=50, snapshots=3, k=5),
+        rounds=1,
+        iterations=1,
+    )
+    save_user_study(result)
+    expected = {
+        "GIFilter a=0.3",
+        "GIFilter a=0.7",
+        "MSInc a=0.3",
+        "MSInc a=0.7",
+        "DisC",
+    }
+    assert expected <= set(result.table)
+    for row in result.table.values():
+        for value in row.values():
+            assert 1.0 <= value <= 5.0
+    # Qualitative check (Table 6): within one method, lowering alpha
+    # should not *narrow* the range of interests.  At benchmark scale the
+    # effect is small, so allow slack rather than assert a strict order.
+    assert (
+        result.raw["GIFilter a=0.3"]["Range of Int."]
+        >= result.raw["GIFilter a=0.7"]["Range of Int."] - 0.05
+    )

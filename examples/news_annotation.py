@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""News annotation: keep every article decorated with fresh, diverse tweets.
+
+The paper's motivating application (after Shraer et al.): "a news website
+may want to annotate each news with its up-to-date relevant tweets."
+Each article becomes a DAS subscription built from its headline; the
+engine continuously maintains k diverse, recent, relevant tweets per
+article as the synthetic tweet stream flows.
+
+Run:  python examples/news_annotation.py
+"""
+
+from __future__ import annotations
+
+from repro import DasEngine, DasQuery, SyntheticTweetCorpus
+
+ARTICLE_HEADLINES = 6  # one subscription per article
+TWEETS_PER_ARTICLE = 4  # k
+HISTORY = 1500  # tweets before the articles are published
+LIVE = 600  # tweets streamed while articles are live
+
+
+def main() -> None:
+    corpus = SyntheticTweetCorpus(
+        vocab_size=4000, n_topics=40, doc_length=(5, 12), seed=99
+    )
+    engine = DasEngine.for_method(
+        "GIFilter", k=TWEETS_PER_ARTICLE, block_size=32
+    )
+    engine_config = engine.config.with_decay_scale(0.5, HISTORY + LIVE)
+    engine = DasEngine(engine_config)
+
+    # A backlog of tweets exists before the newsroom publishes anything.
+    history = corpus.documents(HISTORY)
+    for tweet in history:
+        engine.publish(tweet)
+
+    # "Headlines": two topical terms each, drawn from trending topics, so
+    # they read like real article keywords over this corpus.
+    trending = corpus.trending_terms(per_topic=1)
+    articles = []
+    for article_id in range(ARTICLE_HEADLINES):
+        keywords = [
+            trending[(2 * article_id) % len(trending)],
+            trending[(2 * article_id + 1) % len(trending)],
+        ]
+        query = DasQuery(article_id, keywords)
+        initial = engine.subscribe(query)
+        articles.append((query, keywords))
+        print(
+            f"article {article_id} ({' '.join(keywords)}): "
+            f"{len(initial)} tweets attached at publish time"
+        )
+
+    # Live stream: annotations update continuously.
+    updates = {query.query_id: 0 for query, _ in articles}
+    live = corpus.documents(LIVE, first_id=HISTORY, start_time=float(HISTORY))
+    for tweet in live:
+        for note in engine.publish(tweet):
+            updates[note.query_id] += 1
+
+    print("\nafter the live stream:")
+    for query, keywords in articles:
+        print(
+            f"\narticle {query.query_id} ({' '.join(keywords)}) — "
+            f"{updates[query.query_id]} annotation updates"
+        )
+        for tweet in engine.results(query.query_id):
+            age = engine.clock.now - tweet.created_at
+            print(f"  [{age:6.0f}s old] {tweet.text}")
+
+    ratio = engine.counters.blocks_skipped / max(
+        1, engine.counters.blocks_skipped + engine.counters.blocks_visited
+    )
+    print(
+        f"\nengine work: {engine.counters.queries_evaluated} evaluations, "
+        f"{100 * ratio:.1f}% of blocks skipped by group filtering"
+    )
+
+
+if __name__ == "__main__":
+    main()

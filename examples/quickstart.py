@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: subscribe a few DAS queries and stream documents.
+
+Shows the core loop of the library in under a minute:
+
+1. create a GIFilter engine (the paper's full method);
+2. subscribe diversity-aware top-k queries;
+3. publish documents; collect the notifications the engine pushes;
+4. inspect the maintained result sets.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DasEngine, DasQuery, Document
+
+TWEETS = [
+    "new espresso bar opens downtown with single origin beans",
+    "traffic jam on the highway after the morning storm",
+    "barista championship finals streaming live espresso art",
+    "storm warning issued for the coast tonight",
+    "cold brew coffee recipe that takes thirty seconds",
+    "city council debates new bike lanes downtown",
+    "espresso machine sale this weekend only",
+    "storm damage closes two schools in the valley",
+    "why single origin coffee beans taste different",
+    "downtown food festival announces coffee tasting tent",
+]
+
+
+def main() -> None:
+    engine = DasEngine.for_method("GIFilter", k=3, block_size=8)
+
+    # Subscriptions: continuous top-3, diversity-aware.
+    engine.subscribe(DasQuery.from_text(0, "coffee espresso"))
+    engine.subscribe(DasQuery.from_text(1, "storm"))
+    engine.subscribe(DasQuery.from_text(2, "downtown"))
+
+    print("streaming documents...\n")
+    for i, text in enumerate(TWEETS):
+        document = Document.from_text(i, text, created_at=float(i))
+        for note in engine.publish(document):
+            action = (
+                f"replaces #{note.replaced.doc_id}"
+                if note.is_replacement
+                else "fills result set"
+            )
+            print(f"  t={i:2d}  query {note.query_id}: +doc #{i} ({action})")
+
+    print("\nfinal result sets (newest first):")
+    for query_id, label in ((0, "coffee espresso"), (1, "storm"), (2, "downtown")):
+        print(f"\n  [{label!r}]  DR = {engine.current_dr(query_id):.3f}")
+        for document in engine.results(query_id):
+            print(f"    #{document.doc_id}: {document.text}")
+
+    counters = engine.counters
+    print(
+        f"\nwork done: {counters.queries_evaluated} query evaluations, "
+        f"{counters.sim_evaluations} similarity computations, "
+        f"{counters.blocks_skipped} blocks skipped"
+    )
+
+
+if __name__ == "__main__":
+    main()

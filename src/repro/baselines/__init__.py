@@ -1,0 +1,38 @@
+"""Baselines: the naive oracle, IRT/BIRT, DisC and MSInc.
+
+IRT and BIRT share the DAS engine machinery (they are configuration
+points of :class:`~repro.core.engine.DasEngine`); the factories here give
+them first-class names matching Appendix A.1.
+"""
+
+from repro.baselines.disc import (
+    DiscEngine,
+    basic_disc,
+    greedy_disc,
+    tune_radius,
+)
+from repro.baselines.msinc import MsIncEngine
+from repro.baselines.naive import NaiveEngine
+from repro.core.engine import DasEngine
+
+
+def IrtEngine(**config_overrides) -> DasEngine:
+    """Inverted file plus query result tables (Appendix A.1)."""
+    return DasEngine.for_method("IRT", **config_overrides)
+
+
+def BirtEngine(**config_overrides) -> DasEngine:
+    """Block-based inverted file plus query result tables (Appendix A.1)."""
+    return DasEngine.for_method("BIRT", **config_overrides)
+
+
+__all__ = [
+    "BirtEngine",
+    "DiscEngine",
+    "IrtEngine",
+    "MsIncEngine",
+    "NaiveEngine",
+    "basic_disc",
+    "greedy_disc",
+    "tune_radius",
+]

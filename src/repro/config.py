@@ -1,0 +1,175 @@
+"""Engine configuration.
+
+All tunables from the paper's Table 5 live here, plus the switches that
+select between the evaluated methods (GIFilter / IFilter / BIRT / IRT) and
+the group-bound mode discussed in DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from repro.errors import ConfigurationError
+
+#: Sentinel for "no memory budget" on aggregated term weight summaries.
+UNLIMITED = -1
+
+
+class GroupBoundMode(enum.Enum):
+    """How the group similarity bound ``Sim̃_min`` (Eq. 19) is computed.
+
+    ``STRICT``
+        Provably safe lower bound: documents not covered by a minimal
+        covering set contribute similarity 0, and only ``k - 1 - |S|``
+        residual slots are assumed.  Group filtering never drops a true
+        result, so GIFilter matches the naive engine exactly.
+
+    ``PAPER``
+        Equation 19 verbatim: residual documents contribute
+        ``minSim(U_w(b), d_n)`` each and ``k - |S|`` slots are assumed.
+        Slightly tighter (more pruning) but in rare corner cases may filter
+        a document that a per-query check would have admitted.
+    """
+
+    STRICT = "strict"
+    PAPER = "paper"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration for a DAS publish/subscribe engine.
+
+    Parameters mirror Table 5 of the paper.  The memory budget ``phi_max``
+    is expressed in *aggregated-weight entries* (term, weight) rather than
+    bytes so that behaviour does not depend on the host's pointer width;
+    the paper's 0.5 GB default maps to roughly two million entries on its
+    hardware.
+    """
+
+    #: Number of results maintained per query (paper default 30).
+    k: int = 30
+    #: Relevance/diversity trade-off, Eq. 1 (paper default 0.3).
+    alpha: float = 0.3
+    #: Jelinek-Mercer smoothing parameter for ``PS`` (Eq. after Eq. 3).
+    smoothing_lambda: float = 0.5
+    #: Exponential decay base ``B`` of Eq. 4.  Values > 1 decay; 1 disables
+    #: recency.  See :meth:`with_decay_scale` for the paper's
+    #: ``B^{-Δt_sim} = scale`` parameterisation.
+    decay_base: float = 1.0001
+    #: Maximum postings per block, ``p_max`` (paper default 256).
+    block_size: int = 256
+    #: MCS rebuild threshold ``δ_s`` (Section 7.1, paper default 0.5).
+    delta_s: float = 0.5
+    #: Budget for aggregated term weight summaries, in entries
+    #: (``Φ_max``).  ``UNLIMITED`` disables the R1/R2 split.
+    phi_max: int = UNLIMITED
+    #: Group bound mode, see :class:`GroupBoundMode`.
+    group_bound_mode: GroupBoundMode = GroupBoundMode.STRICT
+
+    # --- Method switches (GIFilter = all True; see DESIGN.md §3) ---
+    #: Partition postings lists into blocks and skip whole blocks
+    #: (BIRT / IFilter / GIFilter).
+    use_blocks: bool = True
+    #: Maintain MCS summaries and apply the group filtering condition
+    #: (GIFilter only).
+    use_group_filter: bool = True
+    #: Maintain aggregated term weight summaries and use Lemma 6 for the
+    #: similarity sum (IFilter / GIFilter).
+    use_agg_weights: bool = True
+
+    #: Number of most-recent matching documents scanned when initialising
+    #: the result set of a freshly subscribed query.
+    init_scan_limit: int = 256
+    #: Capacity of the shared document store (documents pinned by live
+    #: result sets are never evicted).  ``UNLIMITED`` keeps everything.
+    store_capacity: int = UNLIMITED
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {self.alpha}")
+        if not 0.0 <= self.smoothing_lambda <= 1.0:
+            raise ConfigurationError(
+                f"smoothing_lambda must be in [0, 1], got {self.smoothing_lambda}"
+            )
+        if self.decay_base < 1.0:
+            raise ConfigurationError(
+                f"decay_base must be >= 1 (>=1 decays with age), got {self.decay_base}"
+            )
+        if self.block_size < 1:
+            raise ConfigurationError(
+                f"block_size must be >= 1, got {self.block_size}"
+            )
+        if not 0.0 <= self.delta_s <= 1.0:
+            raise ConfigurationError(
+                f"delta_s must be in [0, 1], got {self.delta_s}"
+            )
+        if self.phi_max != UNLIMITED and self.phi_max < 0:
+            raise ConfigurationError(
+                f"phi_max must be >= 0 or UNLIMITED, got {self.phi_max}"
+            )
+        if self.store_capacity != UNLIMITED and self.store_capacity < 1:
+            raise ConfigurationError(
+                f"store_capacity must be >= 1 or UNLIMITED, got {self.store_capacity}"
+            )
+        if self.init_scan_limit < 0:
+            raise ConfigurationError(
+                f"init_scan_limit must be >= 0, got {self.init_scan_limit}"
+            )
+        if self.use_group_filter and not self.use_blocks:
+            raise ConfigurationError(
+                "group filtering requires the block-based inverted file "
+                "(use_blocks=True)"
+            )
+
+    def with_decay_scale(self, scale: float, horizon: float) -> "EngineConfig":
+        """Return a copy whose decay base satisfies ``B**(-horizon) == scale``.
+
+        This mirrors the paper's experimental parameterisation, where the
+        "decaying scale" is the recency value a document retains after the
+        whole simulation duration ``Δt_sim`` (Section 8.3).
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ConfigurationError(f"decay scale must be in (0, 1], got {scale}")
+        if horizon <= 0.0:
+            raise ConfigurationError(f"decay horizon must be > 0, got {horizon}")
+        base = scale ** (-1.0 / horizon)
+        return replace(self, decay_base=base)
+
+    def evolve(self, **changes: object) -> "EngineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def gifilter_config(**overrides: object) -> EngineConfig:
+    """Configuration for the paper's full method (group + individual)."""
+    base = EngineConfig(use_blocks=True, use_group_filter=True, use_agg_weights=True)
+    return base.evolve(**overrides) if overrides else base
+
+
+def ifilter_config(**overrides: object) -> EngineConfig:
+    """Configuration for IFilter: blocks + aggregated weights, no MCS."""
+    base = EngineConfig(use_blocks=True, use_group_filter=False, use_agg_weights=True)
+    return base.evolve(**overrides) if overrides else base
+
+
+def birt_config(**overrides: object) -> EngineConfig:
+    """Configuration for the BIRT baseline (Appendix A.1)."""
+    base = EngineConfig(use_blocks=True, use_group_filter=False, use_agg_weights=False)
+    return base.evolve(**overrides) if overrides else base
+
+
+def irt_config(**overrides: object) -> EngineConfig:
+    """Configuration for the IRT baseline (Appendix A.1)."""
+    base = EngineConfig(use_blocks=False, use_group_filter=False, use_agg_weights=False)
+    return base.evolve(**overrides) if overrides else base
+
+
+#: Factory functions keyed by the method names used throughout the paper.
+METHOD_CONFIGS = {
+    "GIFilter": gifilter_config,
+    "IFilter": ifilter_config,
+    "BIRT": birt_config,
+    "IRT": irt_config,
+}

@@ -1,0 +1,505 @@
+"""The DAS publish/subscribe engine (Algorithm 2).
+
+One engine class implements all four of the paper's streaming methods;
+the configuration flags select which machinery is active:
+
+================  ==========  ================  ===============
+method            use_blocks  use_group_filter  use_agg_weights
+================  ==========  ================  ===============
+GIFilter (paper)  yes         yes               yes
+IFilter           yes         no                yes
+BIRT (baseline)   yes         no                no
+IRT (baseline)    no          no                no
+================  ==========  ================  ===============
+
+Document processing follows Algorithm 2: the postings lists of the
+document's terms are traversed document-at-a-time; at each block boundary
+the group filtering condition (Lemma 7) may skip the whole block; every
+surviving posting goes through the quick relevance bound (Appendix A.1)
+and then the individual filtering condition (Definition 3) evaluated via
+aggregated term weight summaries (Lemma 6) where enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config import METHOD_CONFIGS, EngineConfig
+from repro.core.agg_weights import MemoryBudget
+from repro.core.events import Notification
+from repro.core.filtering import (
+    TIE_EPSILON,
+    accepts,
+    block_similarity_lower_bound,
+    block_threshold_lower_bound,
+    block_trel_upper_bound,
+    group_filters_out,
+    quick_relevance_bound,
+)
+from repro.core.initializer import select_initial_documents
+from repro.core.inverted_file import PostingsList, QueryInvertedFile
+from repro.core.query import DasQuery
+from repro.core.result_set import QueryResultSet
+from repro.errors import (
+    DuplicateQueryError,
+    QueryOrderError,
+    UnknownQueryError,
+)
+from repro.metrics.instrumentation import Counters
+from repro.scoring.diversity import diversity_coefficient, dr_score
+from repro.scoring.recency import ExponentialDecay
+from repro.scoring.relevance import LanguageModelScorer
+from repro.stream.clock import SimulationClock
+from repro.stream.document import Document
+from repro.stream.document_store import DocumentStore
+from repro.text.collection_stats import CollectionStatistics
+from repro.text.vectors import cosine_similarity
+
+_SENTINEL_QID = float("inf")
+
+
+class DasEngine:
+    """Continuous top-k diversity-aware publish/subscribe."""
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        clock: Optional[SimulationClock] = None,
+        stats: Optional[CollectionStatistics] = None,
+        store: Optional[DocumentStore] = None,
+        counters: Optional[Counters] = None,
+        init_strategy: str = "relevant",
+    ) -> None:
+        self._config = config if config is not None else EngineConfig()
+        self._clock = clock if clock is not None else SimulationClock()
+        self._stats = stats if stats is not None else CollectionStatistics()
+        self._scorer = LanguageModelScorer(
+            self._stats, self._config.smoothing_lambda
+        )
+        self._decay = ExponentialDecay(self._config.decay_base)
+        self._store = (
+            store
+            if store is not None
+            else DocumentStore(self._config.store_capacity)
+        )
+        self._budget = (
+            MemoryBudget(self._config.phi_max)
+            if self._config.use_agg_weights
+            else None
+        )
+        self._index = QueryInvertedFile(
+            self._config.block_size if self._config.use_blocks else None
+        )
+        self._queries: Dict[int, DasQuery] = {}
+        self._result_sets: Dict[int, QueryResultSet] = {}
+        #: query id -> [(term, block)] memberships.  Blocks are
+        #: append-only, so a query's block never changes after insertion;
+        #: caching avoids a per-update bisect + membership scan.
+        self._memberships: Dict[int, List[Tuple[str, object]]] = {}
+        self._last_query_id: Optional[int] = None
+        self._init_strategy = init_strategy
+        self.counters = counters if counters is not None else Counters()
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def for_method(cls, method: str, **config_overrides) -> "DasEngine":
+        """Build an engine configured as one of the paper's methods.
+
+        ``method`` is one of ``"GIFilter"``, ``"IFilter"``, ``"BIRT"``,
+        ``"IRT"``; extra keyword arguments override config fields.
+        """
+        try:
+            factory = METHOD_CONFIGS[method]
+        except KeyError:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of "
+                f"{sorted(METHOD_CONFIGS)}"
+            ) from None
+        return cls(factory(**config_overrides))
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def clock(self) -> SimulationClock:
+        return self._clock
+
+    @property
+    def store(self) -> DocumentStore:
+        return self._store
+
+    @property
+    def stats(self) -> CollectionStatistics:
+        return self._stats
+
+    @property
+    def scorer(self) -> LanguageModelScorer:
+        return self._scorer
+
+    @property
+    def decay(self) -> ExponentialDecay:
+        return self._decay
+
+    @property
+    def query_count(self) -> int:
+        return len(self._queries)
+
+    @property
+    def method_name(self) -> str:
+        cfg = self._config
+        if cfg.use_group_filter:
+            return "GIFilter"
+        if cfg.use_agg_weights:
+            return "IFilter" if cfg.use_blocks else "IRT+AW"
+        return "BIRT" if cfg.use_blocks else "IRT"
+
+    def results(self, query_id: int) -> List[Document]:
+        """Current result set of a query, newest first."""
+        result_set = self._result_set_of(query_id)
+        return result_set.documents_newest_first()
+
+    def current_dr(self, query_id: int) -> float:
+        """Reference ``DR(q.R)`` of the live result set (Eq. 1)."""
+        query = self._query_of(query_id)
+        result_set = self._result_sets[query_id]
+        return dr_score(
+            query.terms,
+            result_set.documents(),
+            self._scorer,
+            self._decay,
+            self._clock.now,
+            self._config.alpha,
+            self._config.k,
+        )
+
+    def index_size_report(self) -> Dict[str, int]:
+        """Structural index footprint for the Figure 8 experiment."""
+        aw_entries = sum(
+            result_set.aw_entry_count
+            for result_set in self._result_sets.values()
+        )
+        result_entries = sum(
+            result_set.size for result_set in self._result_sets.values()
+        )
+        report = {
+            "terms": self._index.term_count,
+            "postings": self._index.posting_count,
+            "blocks": self._index.block_count,
+            "mcs_documents": self._index.mcs_document_count(),
+            "aw_entries": aw_entries,
+            "result_entries": result_entries,
+            "stored_documents": len(self._store),
+        }
+        # Rough footprint: a posting is an int (28 B in CPython), a result
+        # entry carries two floats and a reference (~72 B), an AW entry is
+        # a dict slot (~100 B), an MCS member is a reference (~8 B).
+        report["approx_bytes"] = (
+            report["postings"] * 28
+            + report["result_entries"] * 72
+            + report["aw_entries"] * 100
+            + report["mcs_documents"] * 8
+        )
+        return report
+
+    # -- subscription ---------------------------------------------------------
+
+    def subscribe(self, query: DasQuery) -> List[Document]:
+        """Register a DAS query; returns its initial results, newest first.
+
+        Query ids must be strictly increasing (the inverted file is
+        append-only, Section 4.3).
+        """
+        if query.query_id in self._queries:
+            raise DuplicateQueryError(f"query {query.query_id} already subscribed")
+        if (
+            self._last_query_id is not None
+            and query.query_id <= self._last_query_id
+        ):
+            raise QueryOrderError(
+                f"query id {query.query_id} is not after previous id "
+                f"{self._last_query_id}"
+            )
+        result_set = QueryResultSet(
+            self._config.k,
+            budget=self._budget,
+            track_aggregated_weights=self._config.use_agg_weights,
+        )
+        seeds = select_initial_documents(
+            self._store,
+            query.terms,
+            self._config.k,
+            self._config.init_scan_limit,
+            strategy=self._init_strategy,
+            scorer=self._scorer,
+            decay=self._decay,
+            now=self._clock.now,
+            alpha=self._config.alpha,
+        )
+        for document in seeds:
+            trel = self._scorer.trel(query.terms, document.vector)
+            sims = result_set.similarities_to(document.vector)
+            self.counters.sim_evaluations += len(sims)
+            result_set.admit(document, trel, sims)
+            self._store.pin(document.doc_id)
+        self._queries[query.query_id] = query
+        self._result_sets[query.query_id] = result_set
+        self._last_query_id = query.query_id
+        touched = self._index.insert(query)
+        self._memberships[query.query_id] = touched
+        if self._config.use_group_filter:
+            # The paper attributes summary construction to insertion time
+            # (Figure 4(b)): build the MCS summaries of touched blocks now.
+            for term, block in touched:
+                block.rebuild_mcs(term, self._result_sets)
+                self.counters.mcs_rebuilds += 1
+        self.counters.queries_subscribed += 1
+        return result_set.documents_newest_first()
+
+    def unsubscribe(self, query_id: int) -> None:
+        query = self._query_of(query_id)
+        result_set = self._result_sets.pop(query_id)
+        del self._queries[query_id]
+        for entry in result_set.entries:
+            self._store.unpin(entry.document.doc_id)
+        result_set.release_budget()
+        del self._memberships[query_id]
+        self._index.remove(query)
+
+    def _query_of(self, query_id: int) -> DasQuery:
+        query = self._queries.get(query_id)
+        if query is None:
+            raise UnknownQueryError(f"query {query_id} is not subscribed")
+        return query
+
+    def _result_set_of(self, query_id: int) -> QueryResultSet:
+        result_set = self._result_sets.get(query_id)
+        if result_set is None:
+            raise UnknownQueryError(f"query {query_id} is not subscribed")
+        return result_set
+
+    # -- document processing (Algorithm 2) ---------------------------------------
+
+    def publish(self, document: Document) -> List[Notification]:
+        """Process one stream document; returns the triggered updates."""
+        if document.created_at > self._clock.now:
+            self._clock.advance_to(document.created_at)
+        self._stats.add(document.vector)
+        self._store.add(document)
+        self.counters.docs_published += 1
+        notifications: List[Notification] = []
+        vector = document.vector
+        if not vector:
+            return notifications
+        now = self._clock.now
+        ps_cache = {
+            term: self._scorer.ps(vector, term) for term in vector.terms()
+        }
+
+        # Postings lists of the document's terms that index any query.
+        lists: Dict[str, PostingsList] = {}
+        for term in vector.terms():
+            postings = self._index.list_for(term)
+            if postings is not None and postings.blocks:
+                lists[term] = postings
+        if not lists:
+            return notifications
+
+        cursors: Dict[str, Tuple[int, int]] = {term: (0, 0) for term in lists}
+        active: Set[str] = set(lists)
+        evaluated: Set[int] = set()
+
+        def current_qid(term: str) -> float:
+            block_index, offset = cursors[term]
+            blocks = lists[term].blocks
+            if block_index >= len(blocks):
+                return _SENTINEL_QID
+            return blocks[block_index].query_ids[offset]
+
+        while active:
+            term = min(active, key=current_qid)
+            block_index, offset = cursors[term]
+            blocks = lists[term].blocks
+            block = blocks[block_index]
+            skipped = False
+            if offset == 0 and self._config.use_blocks:
+                if self._try_skip_block(
+                    term, block, ps_cache, document, cursors, lists, now
+                ):
+                    self.counters.blocks_skipped += 1
+                    # The group bound covers the filled members only;
+                    # warm-up members must still see the document.
+                    for query_id in block.unfilled_ids:
+                        if query_id not in evaluated:
+                            evaluated.add(query_id)
+                            self._evaluate_query(
+                                query_id, document, ps_cache, now, notifications
+                            )
+                    block_index += 1
+                    offset = 0
+                    skipped = True
+            if not skipped:
+                if offset == 0:
+                    self.counters.blocks_visited += 1
+                query_id = block.query_ids[offset]
+                self.counters.postings_visited += 1
+                if query_id not in evaluated:
+                    evaluated.add(query_id)
+                    self._evaluate_query(
+                        query_id, document, ps_cache, now, notifications
+                    )
+                offset += 1
+                if offset >= len(block.query_ids):
+                    block_index += 1
+                    offset = 0
+            if block_index >= len(blocks):
+                active.discard(term)
+            cursors[term] = (block_index, offset)
+        return notifications
+
+    def _try_skip_block(
+        self,
+        term: str,
+        block,
+        ps_cache: Dict[str, float],
+        document: Document,
+        cursors: Dict[str, Tuple[int, int]],
+        lists: Dict[str, PostingsList],
+        now: float,
+    ) -> bool:
+        """Group filtering condition for one block (Lemma 7)."""
+        self.counters.group_checks += 1
+        if block.meta_dirty:
+            block.refresh_metadata(self._result_sets, self._config.alpha)
+        threshold = block_threshold_lower_bound(
+            block, self._decay, now, self._config.alpha
+        )
+        # TRel̃_max (Eq. 18): document terms whose cursor has not passed
+        # this block yet can still contribute relevance to its queries.
+        max_id = block.max_id
+        active_ps: List[float] = []
+        for other_term, (block_index, offset) in cursors.items():
+            blocks = lists[other_term].blocks
+            if block_index >= len(blocks):
+                continue
+            if blocks[block_index].query_ids[offset] <= max_id:
+                active_ps.append(ps_cache[other_term])
+        trel_upper = block_trel_upper_bound(active_ps)
+        sim_lower = 0.0
+        if self._config.use_group_filter:
+            if block.needs_mcs_rebuild(self._config.delta_s):
+                block.rebuild_mcs(term, self._result_sets)
+                self.counters.mcs_rebuilds += 1
+            sim_lower = block_similarity_lower_bound(
+                block,
+                document.vector,
+                term,
+                self._config.k,
+                self._config.group_bound_mode,
+            )
+            if block.mcs_sets:
+                self.counters.sim_evaluations += sum(
+                    len(cover) for cover in block.mcs_sets
+                )
+        return group_filters_out(
+            trel_upper,
+            sim_lower,
+            threshold,
+            self._config.alpha,
+            self._config.k,
+        )
+
+    def _evaluate_query(
+        self,
+        query_id: int,
+        document: Document,
+        ps_cache: Dict[str, float],
+        now: float,
+        notifications: List[Notification],
+    ) -> None:
+        """Individual filtering steps (Section 6.2) for one query."""
+        self.counters.queries_evaluated += 1
+        query = self._queries[query_id]
+        result_set = self._result_sets[query_id]
+        vector = document.vector
+        trel = self._scorer.trel_from_ps(query.terms, ps_cache, vector)
+        config = self._config
+
+        if not result_set.is_full:
+            # Warm-up: every matching document is admitted until |R| = k.
+            sims = result_set.similarities_to(vector)
+            self.counters.sim_evaluations += len(sims)
+            result_set.admit(document, trel, sims)
+            self._store.pin(document.doc_id)
+            self.counters.matches += 1
+            notifications.append(Notification(query_id, document, None))
+            self._mark_blocks_dirty(query)
+            if result_set.is_full and config.use_group_filter:
+                # The query just left warm-up: existing MCS covers were
+                # built over the previously-filled members only and do
+                # not cover it, so the group bound would be unsafe.
+                # Force a rebuild on next use.
+                for _term, block in self._memberships[query_id]:
+                    block.mcs_sets = None
+                    block.mcs_initial_count = 0
+            return
+
+        dr_oldest = result_set.dr_oldest(now, self._decay, config.alpha)
+        if quick_relevance_bound(trel, config.alpha) <= dr_oldest + TIE_EPSILON:
+            self.counters.quick_rejections += 1
+            return
+        sim_sum, direct, aw_used = result_set.similarity_sum(vector)
+        self.counters.sim_evaluations += direct
+        self.counters.aw_dot_products += aw_used
+        coeff = diversity_coefficient(config.alpha, config.k)
+        dr_new = (
+            config.alpha * trel + coeff * ((config.k - 1) - sim_sum)
+        )
+        if not accepts(dr_new, dr_oldest):
+            return
+
+        sims_kept = [
+            cosine_similarity(vector, entry.document.vector)
+            for entry in result_set.entries[1:]
+        ]
+        self.counters.sim_evaluations += len(sims_kept)
+        evicted = result_set.replace(document, trel, sims_kept)
+        self._store.unpin(evicted.doc_id)
+        self._store.pin(document.doc_id)
+        self.counters.matches += 1
+        notifications.append(Notification(query_id, document, evicted))
+        self._on_result_updated(query, result_set, evicted)
+
+    # -- index maintenance (Section 7.1) ------------------------------------------
+
+    def _mark_blocks_dirty(self, query: DasQuery) -> None:
+        if not self._config.use_blocks:
+            return
+        for _term, block in self._memberships[query.query_id]:
+            block.meta_dirty = True
+
+    def _on_result_updated(
+        self, query: DasQuery, result_set: QueryResultSet, evicted: Document
+    ) -> None:
+        """Propagate a replacement to every block the query belongs to.
+
+        Both the evicted document and the query's *new* oldest document
+        stop counting toward MCS coverage for this query, so any cover
+        relying on either must be dropped (conservative superset of the
+        paper's Algorithm 2 lines 9-11).
+        """
+        if not self._config.use_blocks:
+            return
+        invalidated: Set[int] = {evicted.doc_id}
+        oldest = result_set.oldest
+        if oldest is not None:
+            invalidated.add(oldest.document.doc_id)
+        invalidated = frozenset(invalidated)
+        for _term, block in self._memberships[query.query_id]:
+            block.meta_dirty = True
+            if self._config.use_group_filter:
+                dropped = block.invalidate_mcs_with(invalidated)
+                self.counters.mcs_invalidations += dropped

@@ -1,0 +1,25 @@
+"""Engine output events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.stream.document import Document
+
+
+@dataclass(frozen=True)
+class Notification:
+    """A result-set change pushed to a subscriber.
+
+    ``replaced`` is None during warm-up (the result set was still
+    filling) and carries the evicted oldest document otherwise.
+    """
+
+    query_id: int
+    document: Document
+    replaced: Optional[Document] = None
+
+    @property
+    def is_replacement(self) -> bool:
+        return self.replaced is not None

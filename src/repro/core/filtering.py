@@ -1,0 +1,145 @@
+"""Filtering conditions and bounds (Sections 4-5, Lemmas 2-4 and 7).
+
+Free functions over block summaries and precomputed per-document values,
+so both the engine and the test-suite (which checks every bound against
+its exact counterpart) can call them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import GroupBoundMode
+from repro.core.blocks import PostingsBlock
+from repro.core.mcs import min_similarity_floor
+from repro.scoring.diversity import diversity_coefficient
+from repro.scoring.recency import ExponentialDecay
+from repro.text.vectors import TermVector, cosine_similarity
+
+#: Strict-improvement guard: a replacement must beat the old contribution
+#: by more than this margin.  Mathematical ties (common with duplicated
+#: documents) then resolve identically across engines despite different
+#: floating-point evaluation orders.
+TIE_EPSILON = 1e-9
+
+_NEG_INF = float("-inf")
+
+
+def accepts(dr_new: float, dr_oldest: float) -> bool:
+    """Definition 2/3: the new document wins only on strict improvement."""
+    return dr_new > dr_oldest + TIE_EPSILON
+
+
+def quick_relevance_bound(trel_new: float, alpha: float) -> float:
+    """Appendix A.1's cheap upper bound on ``dr_q(d_n)``.
+
+    Treat every dissimilarity as its maximum 1:
+    ``dr_q(d_n) <= α·TRel(q, d_n) + 2(1-α)``.
+    """
+    return alpha * trel_new + 2.0 * (1.0 - alpha)
+
+
+def block_threshold_lower_bound(
+    block: PostingsBlock,
+    decay: ExponentialDecay,
+    now: float,
+    alpha: float,
+) -> float:
+    """``FT̃_b`` (Eq. 12, Lemma 2) from the block's O(1) summaries.
+
+    The threshold covers the block's *filled* members; warm-up members
+    admit everything and are evaluated individually by the engine.  A
+    block with no filled member has no threshold (-inf).
+    """
+    if block.dtrel_min == _NEG_INF:
+        return _NEG_INF
+    recency = decay.at(block.earliest_de, now)
+    return block.dtrel_min - alpha * block.trel_max_de * (1.0 - recency)
+
+
+def block_trel_upper_bound(active_ps_values: Sequence[float]) -> float:
+    """``TRel̃_max(b, d_n)`` (Eq. 18, Lemma 4).
+
+    ``active_ps_values`` are the ``PS(d_n, w_i)`` of the document terms
+    whose postings cursor has not yet passed the block.  Because every
+    ``PS`` is at most 1, the product over a query's keywords cannot
+    exceed any single factor, hence the maximum single factor bounds the
+    block's best text relevance.
+    """
+    return max(active_ps_values) if active_ps_values else 0.0
+
+
+def block_similarity_lower_bound(
+    block: PostingsBlock,
+    vector: TermVector,
+    term: str,
+    k: int,
+    mode: GroupBoundMode,
+) -> float:
+    """``Sim̃_min(b, d_n)`` (Eq. 19) from the block's MCS summary.
+
+    ``PAPER`` follows Eq. 19 verbatim — ``k - |S|`` residual slots, each
+    floored at ``minSim(U_w(b), d_n)`` (Eq. 20).  ``STRICT`` assumes only
+    ``k - 1 - |S|`` residual slots at similarity 0, which is provably a
+    lower bound of the true minimum (see DESIGN.md §2).
+    """
+    covers = block.mcs_sets
+    if not covers:
+        if mode is GroupBoundMode.STRICT:
+            return 0.0
+        floor = min_similarity_floor(
+            block.universe_min_tf, block.universe_max_norm, term, vector
+        )
+        return floor * k if block.mcs_sets is not None else 0.0
+    total = 0.0
+    for cover in covers:
+        total += min(
+            cosine_similarity(vector, document.vector) for document in cover
+        )
+    if mode is GroupBoundMode.STRICT:
+        residual_slots = (k - 1) - len(covers)
+        floor = 0.0
+    else:
+        residual_slots = k - len(covers)
+        floor = min_similarity_floor(
+            block.universe_min_tf, block.universe_max_norm, term, vector
+        )
+    if residual_slots > 0 and floor > 0.0:
+        total += floor * residual_slots
+    return total
+
+
+def group_filters_out(
+    trel_upper: float,
+    sim_lower: float,
+    threshold_lower: float,
+    alpha: float,
+    k: int,
+) -> bool:
+    """Lemma 7: the whole block can be skipped for this document."""
+    coeff = diversity_coefficient(alpha, k)
+    upper = alpha * trel_upper + coeff * ((k - 1) - sim_lower)
+    return upper <= threshold_lower
+
+
+def exact_group_threshold(
+    result_sets,
+    query_ids: Sequence[int],
+    decay: ExponentialDecay,
+    now: float,
+    alpha: float,
+) -> float:
+    """``min{dr_{q_i}(q_i.d_e)}`` — the exact value Lemma 2 lower-bounds.
+
+    Reference implementation used by tests; returns -inf if any member is
+    unfilled.
+    """
+    threshold = float("inf")
+    for query_id in query_ids:
+        result_set = result_sets[query_id]
+        if not result_set.is_full:
+            return _NEG_INF
+        value = result_set.dr_oldest(now, decay, alpha)
+        if value < threshold:
+            threshold = value
+    return threshold

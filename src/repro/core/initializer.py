@@ -1,0 +1,139 @@
+"""Result-set initialisation for new subscriptions (Section 3).
+
+"When the system receives a DAS query, the query is firstly initialized
+by traversing the document lists" — the store's recent matching
+documents seed the result set.  Two strategies are provided:
+
+``relevant`` (default)
+    The k candidates with the best ``α · R(q, d)`` (relevance × recency)
+    scores.  This is what ranked retrieval over the document lists gives
+    and seeds the result set with strong filtering thresholds — the
+    replacement rule then diversifies it as the stream flows.
+
+``recent``
+    The k most recent matching documents, in arrival order.  Cheapest;
+    thresholds start weak, so early match rates are high.
+
+``greedy``
+    Greedy max-sum construction: repeatedly add the candidate with the
+    best marginal ``α·R + (2-2α)/(k-1)·Σ d(·, selected)`` contribution.
+    Matches the DR objective best at subscription time at O(k·m)
+    similarity cost over m candidates (m is capped at ``4k``).
+
+All strategies are shared by the optimised engine and the naive oracle,
+so their states agree from the first published document onward.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.scoring.diversity import diversity_coefficient
+from repro.scoring.recency import ExponentialDecay
+from repro.scoring.relevance import LanguageModelScorer
+from repro.stream.document import Document
+from repro.stream.document_store import DocumentStore
+from repro.text.vectors import dissimilarity
+
+INIT_STRATEGIES = ("relevant", "recent", "greedy")
+DEFAULT_INIT_STRATEGY = "relevant"
+
+
+def select_initial_documents(
+    store: DocumentStore,
+    terms: Sequence[str],
+    k: int,
+    scan_limit: int,
+    strategy: str = DEFAULT_INIT_STRATEGY,
+    scorer: LanguageModelScorer = None,
+    decay: ExponentialDecay = None,
+    now: float = 0.0,
+    alpha: float = 0.3,
+) -> List[Document]:
+    """Choose up to ``k`` seed documents, returned in arrival order.
+
+    The returned list is sorted ascending by document id so the caller
+    can admit them sequentially (each admit treats its document as the
+    newest so far).
+    """
+    if strategy not in INIT_STRATEGIES:
+        raise ValueError(
+            f"unknown init strategy {strategy!r}; expected one of {INIT_STRATEGIES}"
+        )
+    candidates = store.recent_matching(terms, scan_limit)
+    if not candidates:
+        return []
+    if strategy == "recent" or len(candidates) <= k:
+        chosen = candidates[:k]
+    elif strategy == "relevant":
+        if scorer is None or decay is None:
+            raise ValueError("relevant initialisation needs a scorer and decay")
+        terms = tuple(terms)
+        chosen = sorted(
+            candidates,
+            key=lambda document: (
+                scorer.trel(terms, document.vector)
+                * decay.at(document.created_at, now)
+            ),
+            reverse=True,
+        )[:k]
+    else:
+        if scorer is None or decay is None:
+            raise ValueError("greedy initialisation needs a scorer and decay")
+        # Pre-truncate by relevance so the O(k·m) similarity work stays
+        # bounded even with large scan limits.
+        if len(candidates) > 4 * k:
+            terms_tuple = tuple(terms)
+            candidates = sorted(
+                candidates,
+                key=lambda document: (
+                    scorer.trel(terms_tuple, document.vector)
+                    * decay.at(document.created_at, now)
+                ),
+                reverse=True,
+            )[: 4 * k]
+        chosen = _greedy_max_sum(
+            candidates, terms, k, scorer, decay, now, alpha
+        )
+    return sorted(chosen, key=lambda document: document.doc_id)
+
+
+def _greedy_max_sum(
+    candidates: Sequence[Document],
+    terms: Iterable[str],
+    k: int,
+    scorer: LanguageModelScorer,
+    decay: ExponentialDecay,
+    now: float,
+    alpha: float,
+) -> List[Document]:
+    terms = tuple(terms)
+    coeff = diversity_coefficient(alpha, k)
+    relevances = {
+        candidate.doc_id: alpha
+        * scorer.trel(terms, candidate.vector)
+        * decay.at(candidate.created_at, now)
+        for candidate in candidates
+    }
+    selected: List[Document] = []
+    remaining = list(candidates)
+    # Marginal diversity gain of each remaining candidate w.r.t. the
+    # selection so far, updated incrementally as documents are picked.
+    diversity_gain = {candidate.doc_id: 0.0 for candidate in candidates}
+    while remaining and len(selected) < k:
+        best_index = 0
+        best_value = float("-inf")
+        for index, candidate in enumerate(remaining):
+            value = relevances[candidate.doc_id] + coeff * diversity_gain[
+                candidate.doc_id
+            ]
+            if value > best_value:
+                best_value = value
+                best_index = index
+        picked = remaining.pop(best_index)
+        selected.append(picked)
+        for candidate in remaining:
+            diversity_gain[candidate.doc_id] += dissimilarity(
+                candidate.vector, picked.vector
+            )
+    return selected

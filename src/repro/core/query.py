@@ -1,0 +1,50 @@
+"""The Diversity-Aware Top-k Subscription query (Definition 2).
+
+A DAS query is the pair ``<id, ψ>`` of a query id and keyword set; its
+result set lives in :mod:`repro.core.result_set` and is owned by the
+engine that the query is subscribed to.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.errors import EmptyQueryError
+
+
+class DasQuery:
+    """Immutable subscription: an id plus a deduplicated keyword tuple."""
+
+    __slots__ = ("query_id", "terms")
+
+    def __init__(self, query_id: int, keywords: Iterable[str]) -> None:
+        terms: Tuple[str, ...] = tuple(sorted(set(keywords)))
+        if not terms:
+            raise EmptyQueryError(f"query {query_id} has no keywords")
+        if any(not term for term in terms):
+            raise EmptyQueryError(f"query {query_id} contains an empty keyword")
+        self.query_id = query_id
+        self.terms = terms
+
+    @classmethod
+    def from_text(cls, query_id: int, text: str) -> "DasQuery":
+        """Tokenise free text into a subscription."""
+        from repro.text.tokenizer import tokenize
+
+        return cls(query_id, tokenize(text))
+
+    def matches(self, terms: Iterable[str]) -> bool:
+        """True when the document shares at least one keyword (Def. 2 (1))."""
+        own = self.terms
+        return any(term in own for term in terms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DasQuery):
+            return NotImplemented
+        return self.query_id == other.query_id and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash((self.query_id, self.terms))
+
+    def __repr__(self) -> str:
+        return f"DasQuery(id={self.query_id}, terms={list(self.terms)})"

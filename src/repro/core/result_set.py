@@ -1,0 +1,252 @@
+"""Query result tables (Table 3) and per-query result maintenance.
+
+Each entry stores the document, its text relevance ``TRel(q, d)`` and its
+*accumulated similarity* (Eq. 24) — the sum of similarities to the
+strictly newer documents of the result.  Because new results are always
+the newest document of the stream, maintenance is append-at-the-end /
+evict-at-the-front:
+
+* admitting ``d_n`` adds ``Sim(d_i, d_n)`` to every existing entry's
+  accumulated similarity (``d_n`` is newer than all of them);
+* evicting the oldest entry changes nobody's accumulated similarity
+  (nothing counts similarities to *older* documents).
+
+The oldest entry's closed form (Eq. 25, corrected to include the decay
+factor so Lemma 1 holds exactly — see DESIGN.md §2) is then
+
+    dr_q(q.d_e) = α · TRel(q, d_e) · T(d_e)
+                + (2-2α)/(k-1) · ((k-1) - Sim_acc(q.R, d_e))
+
+The table also owns the query's aggregated term weight summary (Table 4)
+over ``R1 \\ {d_e}`` and the R1/R2 split driven by the shared ``Φ_max``
+budget.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.agg_weights import AggregatedTermWeights, MemoryBudget
+from repro.scoring.diversity import diversity_coefficient
+from repro.scoring.recency import ExponentialDecay
+from repro.stream.document import Document
+from repro.text.vectors import TermVector, cosine_similarity
+
+
+class ResultEntry:
+    """One row of the query result table."""
+
+    __slots__ = ("document", "trel", "sim_acc", "in_r1", "aw_resident")
+
+    def __init__(self, document: Document, trel: float) -> None:
+        self.document = document
+        self.trel = trel
+        #: Eq. 24 — similarity mass against strictly newer result documents.
+        self.sim_acc = 0.0
+        #: True if the entry was granted budget for the AW summary (R1).
+        self.in_r1 = False
+        #: True while the entry's weights are folded into the AW table
+        #: (i.e. it is in R1 and is not the oldest entry).
+        self.aw_resident = False
+
+
+class QueryResultSet:
+    """Result table of one DAS query; entries are kept oldest-first."""
+
+    __slots__ = ("k", "_entries", "_aw", "_budget", "_track_aw")
+
+    def __init__(
+        self,
+        k: int,
+        budget: Optional[MemoryBudget] = None,
+        track_aggregated_weights: bool = True,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._entries: List[ResultEntry] = []
+        self._track_aw = track_aggregated_weights
+        self._aw = AggregatedTermWeights() if track_aggregated_weights else None
+        self._budget = budget
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.k
+
+    @property
+    def entries(self) -> Sequence[ResultEntry]:
+        return self._entries
+
+    @property
+    def oldest(self) -> Optional[ResultEntry]:
+        """``q.d_e``'s entry, or None while empty."""
+        return self._entries[0] if self._entries else None
+
+    def documents(self) -> List[Document]:
+        """Result documents, oldest first."""
+        return [entry.document for entry in self._entries]
+
+    def documents_newest_first(self) -> List[Document]:
+        return [entry.document for entry in reversed(self._entries)]
+
+    def __iter__(self) -> Iterator[ResultEntry]:
+        return iter(self._entries)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return any(entry.document.doc_id == doc_id for entry in self._entries)
+
+    @property
+    def aggregated_weights(self) -> Optional[AggregatedTermWeights]:
+        return self._aw
+
+    @property
+    def aw_entry_count(self) -> int:
+        return self._aw.entry_count if self._aw is not None else 0
+
+    # -- thresholds ---------------------------------------------------------
+
+    def static_dr_oldest(self, alpha: float) -> float:
+        """Time-independent part of ``dr_q(q.d_e)`` — Eq. 13's per-query term.
+
+        ``α·TRel(q, d_e) + (2-2α)/(k-1) · Σ d(d_e, d_i)`` where the
+        dissimilarity sum equals ``(n - 1) - Sim_acc`` over the current
+        ``n - 1`` co-resident documents.
+        """
+        entry = self._entries[0]
+        coeff = diversity_coefficient(alpha, self.k)
+        pairs = len(self._entries) - 1
+        return alpha * entry.trel + coeff * (pairs - entry.sim_acc)
+
+    def dr_oldest(self, now: float, decay: ExponentialDecay, alpha: float) -> float:
+        """``dr_q(q.d_e)`` (Eq. 7 / corrected Eq. 25) at time ``now``."""
+        entry = self._entries[0]
+        recency = decay.at(entry.document.created_at, now)
+        coeff = diversity_coefficient(alpha, self.k)
+        pairs = len(self._entries) - 1
+        return alpha * entry.trel * recency + coeff * (pairs - entry.sim_acc)
+
+    # -- similarity sums ------------------------------------------------------
+
+    def similarity_sum(self, vector: TermVector) -> Tuple[float, int, int]:
+        """``Σ_{d ∈ R \\ {d_e}} Sim(d, vector)``.
+
+        Uses the aggregated term weight summary for R1 documents
+        (Lemma 6) and direct cosines for R2 documents.  Returns the sum
+        plus counters ``(direct_similarities, aw_lookups)`` so the engine
+        can meter the work performed.
+        """
+        direct = 0
+        aw_used = 0
+        total = 0.0
+        if self._aw is not None:
+            total += self._aw.similarity_sum(vector)
+            aw_used = 1
+            for entry in self._entries[1:]:
+                if not entry.aw_resident:
+                    total += cosine_similarity(vector, entry.document.vector)
+                    direct += 1
+        else:
+            for entry in self._entries[1:]:
+                total += cosine_similarity(vector, entry.document.vector)
+                direct += 1
+        return total, direct, aw_used
+
+    def similarities_to(self, vector: TermVector) -> List[float]:
+        """Per-entry similarities against all current entries, in order."""
+        return [
+            cosine_similarity(vector, entry.document.vector)
+            for entry in self._entries
+        ]
+
+    # -- maintenance ----------------------------------------------------------
+
+    def admit(
+        self,
+        document: Document,
+        trel: float,
+        sims_to_existing: Sequence[float],
+    ) -> None:
+        """Warm-up insertion of a matching document while ``|R| < k``.
+
+        ``sims_to_existing`` must align with the current entries
+        (oldest-first).  The new document is the stream's newest, so every
+        existing entry's accumulated similarity grows by its similarity to
+        it.
+        """
+        if self.is_full:
+            raise ValueError("result set is full; use replace()")
+        if len(sims_to_existing) != len(self._entries):
+            raise ValueError(
+                f"expected {len(self._entries)} similarities, "
+                f"got {len(sims_to_existing)}"
+            )
+        for entry, sim in zip(self._entries, sims_to_existing):
+            entry.sim_acc += sim
+        self._append_entry(document, trel)
+
+    def replace(
+        self,
+        document: Document,
+        trel: float,
+        sims_to_kept: Sequence[float],
+    ) -> Document:
+        """Evict ``d_e``, admit ``document``; returns the evicted document.
+
+        ``sims_to_kept`` aligns with the surviving entries (the current
+        entries minus the oldest, oldest-first).
+        """
+        if not self._entries:
+            raise ValueError("cannot replace in an empty result set")
+        if len(sims_to_kept) != len(self._entries) - 1:
+            raise ValueError(
+                f"expected {len(self._entries) - 1} similarities, "
+                f"got {len(sims_to_kept)}"
+            )
+        evicted_entry = self._entries.pop(0)
+        # The evicted entry is never AW-resident (the oldest is excluded
+        # from the summary), so only its budget-free removal happens here.
+        assert not evicted_entry.aw_resident
+        self._on_new_oldest()
+        for entry, sim in zip(self._entries, sims_to_kept):
+            entry.sim_acc += sim
+        self._append_entry(document, trel)
+        return evicted_entry.document
+
+    def _on_new_oldest(self) -> None:
+        """Exclude the (possibly new) oldest entry from the AW summary."""
+        if not self._entries:
+            return
+        head = self._entries[0]
+        if head.aw_resident:
+            assert self._aw is not None
+            self._aw.remove_document(head.document.vector)
+            head.aw_resident = False
+            if self._budget is not None:
+                self._budget.release(len(head.document.vector))
+
+    def _append_entry(self, document: Document, trel: float) -> None:
+        entry = ResultEntry(document, trel)
+        if self._entries and self._aw is not None:
+            # Only non-oldest entries may join the summary; the very first
+            # entry stays out (it *is* the oldest).
+            entries = len(document.vector)
+            if self._budget is None or self._budget.try_reserve(entries):
+                entry.in_r1 = True
+                entry.aw_resident = True
+                self._aw.add_document(document.vector)
+        self._entries.append(entry)
+
+    def release_budget(self) -> None:
+        """Return all reserved AW budget (used on unsubscribe)."""
+        if self._budget is None:
+            return
+        for entry in self._entries:
+            if entry.aw_resident:
+                self._budget.release(len(entry.document.vector))
+                entry.aw_resident = False

@@ -1,0 +1,5 @@
+"""Scale-out: query-sharded DAS processing across engine shards."""
+
+from repro.distributed.sharded import ROUTING_POLICIES, ShardedDasEngine
+
+__all__ = ["ROUTING_POLICIES", "ShardedDasEngine"]

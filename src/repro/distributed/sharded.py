@@ -1,0 +1,155 @@
+"""Query-sharded DAS processing (Section 2's scale-out note).
+
+"In the case that the DAS queries cannot fit into memory, we can employ
+our proposed solution on multiple servers, each handling a subset of DAS
+queries independently."  This module simulates that deployment: N
+independent engine shards, queries routed by a pluggable policy, every
+document broadcast to all shards (each query lives on exactly one shard,
+so per-query semantics are untouched — sharded results are *identical*
+to a single engine's, which the tests assert).
+
+Routing policies:
+
+``round_robin``
+    Evens out query counts — the default.
+``hash``
+    Stable assignment by query id, so a query's shard can be recomputed
+    without a routing table.
+``least_loaded``
+    Tracks per-shard posting counts and assigns each new query to the
+    currently lightest shard (useful when query keyword counts vary a
+    lot).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import EngineConfig
+from repro.core.engine import DasEngine
+from repro.core.events import Notification
+from repro.core.query import DasQuery
+from repro.errors import DuplicateQueryError, UnknownQueryError
+from repro.metrics.instrumentation import Counters
+from repro.stream.document import Document
+
+ROUTING_POLICIES = ("round_robin", "hash", "least_loaded")
+
+
+class ShardedDasEngine:
+    """N independent DAS engine shards behind one engine-like facade."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        config: Optional[EngineConfig] = None,
+        routing: str = "round_robin",
+        engine_factory: Optional[Callable[[], DasEngine]] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing {routing!r}; expected one of {ROUTING_POLICIES}"
+            )
+        if engine_factory is None:
+            base_config = config if config is not None else EngineConfig()
+            engine_factory = lambda: DasEngine(base_config)  # noqa: E731
+        self.shards: List[DasEngine] = [engine_factory() for _ in range(n_shards)]
+        self.routing = routing
+        self._assignment: Dict[int, int] = {}
+        self._next_round_robin = 0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def query_count(self) -> int:
+        return sum(shard.query_count for shard in self.shards)
+
+    def shard_of(self, query_id: int) -> int:
+        """Shard index currently hosting ``query_id``."""
+        shard = self._assignment.get(query_id)
+        if shard is None:
+            raise UnknownQueryError(f"query {query_id} is not subscribed")
+        return shard
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(self, query: DasQuery) -> int:
+        if self.routing == "round_robin":
+            shard = self._next_round_robin
+            self._next_round_robin = (shard + 1) % self.n_shards
+            return shard
+        if self.routing == "hash":
+            return query.query_id % self.n_shards
+        # least_loaded: fewest indexed postings right now.
+        loads = [
+            shard._index.posting_count for shard in self.shards
+        ]
+        return loads.index(min(loads))
+
+    # -- engine facade -------------------------------------------------------
+
+    def subscribe(self, query: DasQuery) -> List[Document]:
+        if query.query_id in self._assignment:
+            raise DuplicateQueryError(f"query {query.query_id} already subscribed")
+        shard = self._route(query)
+        initial = self.shards[shard].subscribe(query)
+        self._assignment[query.query_id] = shard
+        return initial
+
+    def unsubscribe(self, query_id: int) -> None:
+        shard = self.shard_of(query_id)
+        self.shards[shard].unsubscribe(query_id)
+        del self._assignment[query_id]
+
+    def publish(self, document: Document) -> List[Notification]:
+        """Broadcast the document to every shard; merge notifications.
+
+        Each shard holds its own document store and collection
+        statistics, mirroring independent servers that each consume the
+        full stream.
+        """
+        notifications: List[Notification] = []
+        for shard in self.shards:
+            notifications.extend(shard.publish(document))
+        return notifications
+
+    def results(self, query_id: int) -> List[Document]:
+        return self.shards[self.shard_of(query_id)].results(query_id)
+
+    def current_dr(self, query_id: int) -> float:
+        return self.shards[self.shard_of(query_id)].current_dr(query_id)
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def counters(self) -> Counters:
+        """Aggregated work counters across shards."""
+        total = Counters()
+        for shard in self.shards:
+            total = total + shard.counters
+        # docs_published is per-shard (broadcast); report logical docs.
+        total.docs_published //= self.n_shards
+        return total
+
+    def shard_loads(self) -> List[Dict[str, int]]:
+        """Per-shard load report: queries, postings, stored documents."""
+        return [
+            {
+                "queries": shard.query_count,
+                "postings": shard._index.posting_count,
+                "documents": len(shard.store),
+            }
+            for shard in self.shards
+        ]
+
+    def imbalance(self) -> float:
+        """Max/mean posting-count ratio across shards (1.0 = perfect)."""
+        loads = [shard._index.posting_count for shard in self.shards]
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean

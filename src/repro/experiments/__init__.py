@@ -1,0 +1,22 @@
+"""Experiment harness: workload specs, runner, per-figure sweeps."""
+
+from repro.experiments.results import FigureResult, UserStudyResult
+from repro.experiments.runner import MethodRun, run_das_methods, run_method
+from repro.experiments.workload import (
+    DAS_METHODS,
+    Workload,
+    WorkloadSpec,
+    build_workload,
+)
+
+__all__ = [
+    "DAS_METHODS",
+    "FigureResult",
+    "MethodRun",
+    "UserStudyResult",
+    "Workload",
+    "WorkloadSpec",
+    "build_workload",
+    "run_das_methods",
+    "run_method",
+]

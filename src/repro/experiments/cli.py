@@ -1,0 +1,142 @@
+"""Command-line interface: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro.experiments.cli list
+    python -m repro.experiments.cli run fig6 fig10
+    python -m repro.experiments.cli run all --scale tiny --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Sequence
+
+from repro.experiments import sweeps
+from repro.experiments.workload import WorkloadSpec
+
+
+def _single(fn):
+    return lambda spec: [fn(spec)]
+
+
+def _pair(fn):
+    return lambda spec: list(fn(spec))
+
+
+def _triple(fn):
+    return lambda spec: list(fn(spec))
+
+
+#: figure key -> (description, runner returning a list of result objects)
+FIGURES: Dict[str, tuple] = {
+    "fig4": ("doc processing & insertion over time (LQD)", _pair(sweeps.time_effect)),
+    "fig5": ("effect of # query keywords", _pair(sweeps.query_keywords)),
+    "fig6": ("effect of k", _single(sweeps.result_count)),
+    "fig7": ("scaling # queries (+ fig8 index size)", _triple(sweeps.query_scale)),
+    "tab6": ("user study proxies", lambda spec: [sweeps.user_study(spec)]),
+    "fig9": ("vs DisC / MSInc on SQD", _pair(sweeps.other_systems)),
+    "fig10": ("effect of block size", _single(sweeps.block_size)),
+    "fig11": ("effect of arrival rate", _pair(sweeps.arrival_rate)),
+    "fig12": ("effect of alpha", _single(sweeps.alpha_effect)),
+    "fig13": ("effect of decaying scale", _single(sweeps.decay_scale)),
+    "fig14": ("effect of Phi_max", _single(sweeps.phi_max)),
+    "fig15": ("effect of delta_s", _single(sweeps.delta_s)),
+    "fig16": ("effect of # document terms", _single(sweeps.doc_terms)),
+    "fig17": ("scalability on SQD", _single(sweeps.sqd_scale)),
+    "fig18": ("DisC window size", _single(sweeps.window_size)),
+    "abl-bound": ("ablation: group bound mode", _single(sweeps.bound_mode_ablation)),
+    "abl-aw": ("ablation: aggregated weights", _single(sweeps.agg_weights_ablation)),
+    "abl-init": ("ablation: init strategy", _single(sweeps.init_strategy_ablation)),
+}
+
+SCALES: Dict[str, WorkloadSpec] = {
+    "micro": WorkloadSpec(
+        n_queries=300, n_history=500, n_settle=40, n_measure=50, k=10
+    ),
+    "tiny": sweeps.TINY,
+    "small": sweeps.SMALL,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of Chen & Cong, SIGMOD 2015.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available figures")
+
+    run = commands.add_parser("run", help="run one or more figures")
+    run.add_argument(
+        "figures",
+        nargs="+",
+        help="figure keys (see `list`), or 'all'",
+    )
+    run.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="tiny",
+        help="workload scale (default: tiny)",
+    )
+    run.add_argument(
+        "--out",
+        default=None,
+        help="directory to write tables to (default: stdout only)",
+    )
+    return parser
+
+
+def run_figures(
+    keys: Sequence[str], scale: str, out_dir: str = None
+) -> List[str]:
+    """Run the requested figures; return the rendered tables."""
+    if "all" in keys:
+        keys = list(FIGURES)
+    unknown = [key for key in keys if key not in FIGURES]
+    if unknown:
+        raise SystemExit(
+            f"unknown figure(s): {', '.join(unknown)} "
+            f"(available: {', '.join(FIGURES)})"
+        )
+    spec = SCALES[scale]
+    rendered: List[str] = []
+    for key in keys:
+        _description, runner = FIGURES[key]
+        for result in runner(spec):
+            table = result.format_table()
+            rendered.append(table)
+            print(table)
+            print()
+            if out_dir:
+                os.makedirs(out_dir, exist_ok=True)
+                name = getattr(result, "figure", key)
+                name = (
+                    str(name)
+                    .lower()
+                    .replace(" ", "")
+                    .replace("(", "_")
+                    .replace(")", "")
+                    or key
+                )
+                with open(os.path.join(out_dir, f"{name}.txt"), "w") as handle:
+                    handle.write(table + "\n")
+    return rendered
+
+
+def main(argv: Sequence[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(key) for key in FIGURES)
+        for key, (description, _runner) in FIGURES.items():
+            print(f"{key:<{width}}  {description}")
+        return 0
+    run_figures(args.figures, args.scale, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

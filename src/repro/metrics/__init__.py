@@ -1,0 +1,27 @@
+"""Metrics: instrumentation counters, timers, quality proxies."""
+
+from repro.metrics.instrumentation import Counters
+from repro.metrics.quality import (
+    QualityReport,
+    evaluate_result_set,
+    likert_rescale,
+    mean_report,
+    range_of_interests_aspect,
+    recency_aspect,
+    relevance_aspect,
+    user_study_table,
+)
+from repro.metrics.timing import Stopwatch
+
+__all__ = [
+    "Counters",
+    "QualityReport",
+    "Stopwatch",
+    "evaluate_result_set",
+    "likert_rescale",
+    "mean_report",
+    "range_of_interests_aspect",
+    "recency_aspect",
+    "relevance_aspect",
+    "user_study_table",
+]

@@ -1,0 +1,58 @@
+"""Work counters for machine-independent performance accounting.
+
+Pure-Python wall-clock numbers are a poor proxy for the paper's Java
+measurements (see DESIGN.md §2), so every engine also counts the work it
+does: postings visited, blocks skipped, similarity evaluations, and so
+on.  The benchmark harness reports both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+
+@dataclass
+class Counters:
+    """Mutable work counters; engines increment these on their hot paths."""
+
+    docs_published: int = 0
+    queries_subscribed: int = 0
+    postings_visited: int = 0
+    blocks_visited: int = 0
+    blocks_skipped: int = 0
+    group_checks: int = 0
+    queries_evaluated: int = 0
+    quick_rejections: int = 0
+    sim_evaluations: int = 0
+    aw_dot_products: int = 0
+    matches: int = 0
+    mcs_rebuilds: int = 0
+    mcs_invalidations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def snapshot(self) -> "Counters":
+        return Counters(**self.as_dict())
+
+    def delta(self, earlier: "Counters") -> "Counters":
+        """Counters accumulated since ``earlier`` (self - earlier)."""
+        return Counters(
+            **{
+                name: value - getattr(earlier, name)
+                for name, value in self.as_dict().items()
+            }
+        )
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def __add__(self, other: "Counters") -> "Counters":
+        return Counters(
+            **{
+                name: value + getattr(other, name)
+                for name, value in self.as_dict().items()
+            }
+        )

@@ -1,0 +1,161 @@
+"""Result-quality proxies for the user study (Table 6).
+
+The paper's Table 6 rates result sets by three human annotators on four
+Likert aspects.  Without annotators we compute the automatic quantities
+the aspects correspond to, and compare methods by *ordering* rather than
+absolute Likert means:
+
+==================  =====================================================
+aspect              proxy
+==================  =====================================================
+Relevance           mean normalised ``TRel(q, d)`` over the set
+Recency             mean decay value ``T(d)`` at evaluation time
+Range of interests  mean pairwise dissimilarity of the set
+Overall             equal-weight blend of the three, after each aspect is
+                    rescaled to [1, 5] across the compared result sets
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+from repro.scoring.recency import ExponentialDecay
+from repro.scoring.relevance import LanguageModelScorer
+from repro.stream.document import Document
+from repro.text.vectors import dissimilarity
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Raw (un-rescaled) quality aspects of one result set."""
+
+    relevance: float
+    recency: float
+    range_of_interests: float
+
+    def blended(self, weights: Sequence[float] = (1.0, 1.0, 1.0)) -> float:
+        total = sum(weights)
+        return (
+            weights[0] * self.relevance
+            + weights[1] * self.recency
+            + weights[2] * self.range_of_interests
+        ) / total
+
+
+def relevance_aspect(
+    query_terms: Iterable[str],
+    documents: Sequence[Document],
+    scorer: LanguageModelScorer,
+) -> float:
+    """Mean per-keyword log-normalised relevance in [0, 1].
+
+    ``TRel`` is a product of small probabilities, so raw values are not
+    comparable across query lengths; the geometric mean per keyword
+    (``TRel ** (1/|ψ|)``) is.
+    """
+    terms = tuple(query_terms)
+    if not documents or not terms:
+        return 0.0
+    total = 0.0
+    for document in documents:
+        trel = scorer.trel(terms, document.vector)
+        total += trel ** (1.0 / len(terms)) if trel > 0.0 else 0.0
+    return total / len(documents)
+
+
+def recency_aspect(
+    documents: Sequence[Document], decay: ExponentialDecay, now: float
+) -> float:
+    """Mean decay value ``T(d)`` in [0, 1]."""
+    if not documents:
+        return 0.0
+    return sum(
+        decay.at(document.created_at, now) for document in documents
+    ) / len(documents)
+
+
+def range_of_interests_aspect(documents: Sequence[Document]) -> float:
+    """Mean pairwise dissimilarity in [0, 1]; 0 for singleton sets."""
+    n = len(documents)
+    if n < 2:
+        return 0.0
+    total = 0.0
+    for i in range(n):
+        for j in range(i + 1, n):
+            total += dissimilarity(documents[i].vector, documents[j].vector)
+    return total / (n * (n - 1) / 2)
+
+
+def evaluate_result_set(
+    query_terms: Iterable[str],
+    documents: Sequence[Document],
+    scorer: LanguageModelScorer,
+    decay: ExponentialDecay,
+    now: float,
+) -> QualityReport:
+    """All three aspects of one result set."""
+    terms = tuple(query_terms)
+    return QualityReport(
+        relevance=relevance_aspect(terms, documents, scorer),
+        recency=recency_aspect(documents, decay, now),
+        range_of_interests=range_of_interests_aspect(documents),
+    )
+
+
+def likert_rescale(values: Dict[str, float]) -> Dict[str, float]:
+    """Rescale one aspect's raw values across methods to a 1-5 scale.
+
+    The best method gets 5, the worst 1; degenerate (all-equal) inputs
+    map to 3.  This mirrors comparing methods on the same Likert scale
+    without claiming absolute agreement with human raters.
+    """
+    if not values:
+        return {}
+    low = min(values.values())
+    high = max(values.values())
+    if math.isclose(low, high):
+        return {name: 3.0 for name in values}
+    return {
+        name: 1.0 + 4.0 * (value - low) / (high - low)
+        for name, value in values.items()
+    }
+
+
+def user_study_table(
+    raw: Dict[str, QualityReport]
+) -> Dict[str, Dict[str, float]]:
+    """Build a Table-6-shaped grid: method -> aspect -> 1-5 rating.
+
+    ``raw`` maps method labels (e.g. ``"GIFilter α=0.3"``) to their
+    average :class:`QualityReport`.  Each aspect is rescaled across the
+    methods; Overall is the rescaled blend.
+    """
+    aspects = {
+        "Relevance": {name: report.relevance for name, report in raw.items()},
+        "Recency": {name: report.recency for name, report in raw.items()},
+        "Range of Int.": {
+            name: report.range_of_interests for name, report in raw.items()
+        },
+    }
+    rescaled = {name: likert_rescale(values) for name, values in aspects.items()}
+    table: Dict[str, Dict[str, float]] = {}
+    for method in raw:
+        row = {aspect: rescaled[aspect][method] for aspect in rescaled}
+        row["Overall"] = sum(row.values()) / len(row)
+        table[method] = row
+    return table
+
+
+def mean_report(reports: Sequence[QualityReport]) -> QualityReport:
+    """Average a collection of reports (e.g. over queries and snapshots)."""
+    if not reports:
+        return QualityReport(0.0, 0.0, 0.0)
+    n = len(reports)
+    return QualityReport(
+        relevance=sum(r.relevance for r in reports) / n,
+        recency=sum(r.recency for r in reports) / n,
+        range_of_interests=sum(r.range_of_interests for r in reports) / n,
+    )

@@ -1,0 +1,48 @@
+"""Lightweight timers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer with a context-manager interface.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     pass
+    >>> watch.calls
+    1
+    """
+
+    __slots__ = ("total", "calls", "_started")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.calls = 0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._started is not None
+        self.total += time.perf_counter() - self._started
+        self.calls += 1
+        self._started = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per timed call (0 before any call)."""
+        return self.total / self.calls if self.calls else 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1000.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.calls = 0
+        self._started = None

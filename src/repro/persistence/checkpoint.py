@@ -1,0 +1,196 @@
+"""Engine checkpointing: serialise a live engine to a JSON-safe dict.
+
+A checkpoint captures everything the engine cannot rebuild from code:
+configuration, simulated time, collection statistics, the document
+store, the subscriptions and each query's result table (document ids,
+cached TRel, accumulated similarities, R1 membership).  Derived
+structures — the inverted file's block summaries, MCS covers, aggregated
+term weight tables — are *not* stored; they are reconstructed on restore
+(summaries lazily, AW tables eagerly), which keeps checkpoints small and
+forward-compatible.
+
+``restore`` returns an engine whose observable behaviour is identical to
+the original: same results, same thresholds, same future decisions
+(property-tested in ``tests/test_persistence.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.config import EngineConfig, GroupBoundMode
+from repro.core.engine import DasEngine
+from repro.core.query import DasQuery
+from repro.core.result_set import ResultEntry
+from repro.stream.document import Document
+from repro.text.vectors import TermVector
+
+#: Format marker for forward compatibility.
+CHECKPOINT_VERSION = 1
+
+
+def _config_to_dict(config: EngineConfig) -> Dict:
+    return {
+        "k": config.k,
+        "alpha": config.alpha,
+        "smoothing_lambda": config.smoothing_lambda,
+        "decay_base": config.decay_base,
+        "block_size": config.block_size,
+        "delta_s": config.delta_s,
+        "phi_max": config.phi_max,
+        "group_bound_mode": config.group_bound_mode.value,
+        "use_blocks": config.use_blocks,
+        "use_group_filter": config.use_group_filter,
+        "use_agg_weights": config.use_agg_weights,
+        "init_scan_limit": config.init_scan_limit,
+        "store_capacity": config.store_capacity,
+    }
+
+
+def _config_from_dict(payload: Dict) -> EngineConfig:
+    payload = dict(payload)
+    payload["group_bound_mode"] = GroupBoundMode(payload["group_bound_mode"])
+    return EngineConfig(**payload)
+
+
+def checkpoint(engine: DasEngine) -> Dict:
+    """Capture the engine's full logical state as a JSON-safe dict."""
+    stats = engine.stats
+    documents = [
+        {
+            "id": document.doc_id,
+            "tf": dict(document.vector.items()),
+            "t": document.created_at,
+            "text": document.text,
+        }
+        for document in engine.store
+    ]
+    queries = []
+    for query_id in sorted(engine._queries):
+        query = engine._queries[query_id]
+        result_set = engine._result_sets[query_id]
+        queries.append(
+            {
+                "id": query_id,
+                "terms": list(query.terms),
+                "results": [
+                    {
+                        "doc": entry.document.doc_id,
+                        "trel": entry.trel,
+                        "sim_acc": entry.sim_acc,
+                        "in_r1": entry.in_r1,
+                    }
+                    for entry in result_set.entries
+                ],
+            }
+        )
+    return {
+        "version": CHECKPOINT_VERSION,
+        "config": _config_to_dict(engine.config),
+        "now": engine.clock.now,
+        "stats": {
+            "term_counts": dict(stats._term_counts),
+            "total_tokens": stats.total_tokens,
+            "total_documents": stats.total_documents,
+        },
+        "documents": documents,
+        "queries": queries,
+    }
+
+
+def restore(payload: Dict) -> DasEngine:
+    """Rebuild an engine from a checkpoint dict."""
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {version!r} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    engine = DasEngine(_config_from_dict(payload["config"]))
+
+    # Collection statistics are restored wholesale (re-adding documents
+    # would double-count documents that were evicted from the store but
+    # already folded into the statistics).
+    stats = engine.stats
+    stats._term_counts = {
+        term: int(count)
+        for term, count in payload["stats"]["term_counts"].items()
+    }
+    stats._total_tokens = int(payload["stats"]["total_tokens"])
+    stats._total_documents = int(payload["stats"]["total_documents"])
+
+    for record in payload["documents"]:
+        engine.store.add(
+            Document(
+                int(record["id"]),
+                TermVector(
+                    {term: int(c) for term, c in record["tf"].items()}
+                ),
+                float(record["t"]),
+                record.get("text"),
+            )
+        )
+
+    for record in payload["queries"]:
+        query = DasQuery(int(record["id"]), record["terms"])
+        _restore_query(engine, query, record["results"])
+
+    engine.clock.advance_to(float(payload["now"]))
+    return engine
+
+
+def _restore_query(engine: DasEngine, query: DasQuery, rows: List[Dict]) -> None:
+    """Register a query and rebuild its result table row by row."""
+    from repro.core.result_set import QueryResultSet
+
+    result_set = QueryResultSet(
+        engine.config.k,
+        budget=engine._budget,
+        track_aggregated_weights=engine.config.use_agg_weights,
+    )
+    entries = []
+    for row in rows:
+        document = engine.store.get(int(row["doc"]))
+        if document is None:
+            raise ValueError(
+                f"checkpoint references missing document {row['doc']}"
+            )
+        entry = ResultEntry(document, float(row["trel"]))
+        entry.sim_acc = float(row["sim_acc"])
+        entry.in_r1 = bool(row["in_r1"])
+        entries.append(entry)
+        engine.store.pin(document.doc_id)
+    result_set._entries = entries
+    # Rebuild the aggregated weight table over R1 \ {oldest} and account
+    # for its budget.
+    aw = result_set.aggregated_weights
+    if aw is not None:
+        for index, entry in enumerate(entries):
+            if index == 0 or not entry.in_r1:
+                continue
+            size = len(entry.document.vector)
+            if engine._budget is None or engine._budget.try_reserve(size):
+                aw.add_document(entry.document.vector)
+                entry.aw_resident = True
+            else:
+                entry.in_r1 = False
+
+    engine._queries[query.query_id] = query
+    engine._result_sets[query.query_id] = result_set
+    engine._last_query_id = query.query_id
+    touched = engine._index.insert(query)
+    engine._memberships[query.query_id] = touched
+    engine.counters.queries_subscribed += 1
+
+
+def save(engine: DasEngine, path: str) -> None:
+    """Checkpoint the engine to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(checkpoint(engine), handle)
+
+
+def load(path: str) -> DasEngine:
+    """Restore an engine from a JSON checkpoint file."""
+    with open(path) as handle:
+        return restore(json.load(handle))

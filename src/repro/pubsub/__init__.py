@@ -1,0 +1,6 @@
+"""Delivery layer: subscriptions, mailboxes, the pub/sub service."""
+
+from repro.pubsub.service import PublishSubscribeService
+from repro.pubsub.subscriber import Mailbox, Subscription
+
+__all__ = ["Mailbox", "PublishSubscribeService", "Subscription"]

@@ -1,0 +1,108 @@
+"""PublishSubscribeService: the delivery wrapper around a DAS engine.
+
+Binds subscriber callbacks/mailboxes to DAS queries, routes the engine's
+notifications to them on every publish, and auto-assigns query ids so
+application code never manages the (strictly increasing) id space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.engine import DasEngine
+from repro.core.events import Notification
+from repro.core.query import DasQuery
+from repro.errors import UnknownQueryError
+from repro.pubsub.subscriber import DeliveryCallback, Mailbox, Subscription
+from repro.stream.document import Document
+
+
+class PublishSubscribeService:
+    """Callback/mailbox delivery on top of any DAS engine."""
+
+    def __init__(self, engine: Optional[DasEngine] = None) -> None:
+        self._engine = engine if engine is not None else DasEngine.for_method(
+            "GIFilter"
+        )
+        self._subscriptions: Dict[int, Subscription] = {}
+        self._next_query_id = 0
+
+    @property
+    def engine(self) -> DasEngine:
+        return self._engine
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    # -- subscribing -------------------------------------------------------
+
+    def subscribe(
+        self,
+        keywords: Union[str, Iterable[str]],
+        callback: Optional[DeliveryCallback] = None,
+        mailbox_capacity: Optional[int] = None,
+    ) -> Subscription:
+        """Create a standing subscription.
+
+        ``keywords`` may be a raw string (tokenised) or an iterable of
+        terms.  Provide ``callback`` for push delivery, a
+        ``mailbox_capacity`` for pull delivery, or both.  The initial
+        result set (bootstrapped from the document history) is delivered
+        as warm-up notifications.
+        """
+        query_id = max(self._next_query_id, self._engine_floor())
+        if isinstance(keywords, str):
+            query = DasQuery.from_text(query_id, keywords)
+        else:
+            query = DasQuery(query_id, keywords)
+        self._next_query_id = query_id + 1
+        mailbox = (
+            Mailbox(mailbox_capacity) if mailbox_capacity is not None else None
+        )
+        subscription = Subscription(
+            query, self, callback=callback, mailbox=mailbox
+        )
+        initial = self._engine.subscribe(query)
+        self._subscriptions[query_id] = subscription
+        for document in reversed(initial):  # oldest first, like the stream
+            subscription.deliver(Notification(query_id, document, None))
+        return subscription
+
+    def _engine_floor(self) -> int:
+        last = self._engine._last_query_id
+        return 0 if last is None else last + 1
+
+    def unsubscribe(self, query_id: int) -> None:
+        subscription = self._subscriptions.pop(query_id, None)
+        if subscription is None:
+            raise UnknownQueryError(f"query {query_id} is not subscribed")
+        subscription.active = False
+        self._engine.unsubscribe(query_id)
+
+    def results(self, query_id: int) -> List[Document]:
+        return self._engine.results(query_id)
+
+    # -- publishing ------------------------------------------------------------
+
+    def publish(self, document: Document) -> List[Notification]:
+        """Publish one document and deliver its notifications."""
+        notifications = self._engine.publish(document)
+        for notification in notifications:
+            subscription = self._subscriptions.get(notification.query_id)
+            if subscription is not None:
+                subscription.deliver(notification)
+        return notifications
+
+    def publish_text(self, text: str, created_at: Optional[float] = None) -> List[Notification]:
+        """Convenience: tokenise raw text and publish it."""
+        doc_id = self._next_doc_id()
+        timestamp = (
+            created_at if created_at is not None else self._engine.clock.now
+        )
+        return self.publish(Document.from_text(doc_id, text, timestamp))
+
+    def _next_doc_id(self) -> int:
+        store = self._engine.store
+        last = getattr(store, "_last_id", None)
+        return 0 if last is None else last + 1

@@ -1,0 +1,111 @@
+"""Subscriber-facing delivery layer.
+
+The core engine returns notifications from ``publish``; a real
+publish/subscribe deployment pushes them to subscriber callbacks or
+mailboxes.  This module adds that delivery surface without touching the
+engine:
+
+* :class:`Subscription` — a handle binding a DAS query to a delivery
+  target and exposing the live result set;
+* :class:`Mailbox` — a bounded per-subscriber queue for pull-style
+  consumers;
+* callback delivery with error isolation (a failing subscriber callback
+  never breaks the publishing path).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.core.events import Notification
+from repro.core.query import DasQuery
+from repro.stream.document import Document
+
+DeliveryCallback = Callable[[Notification], None]
+
+
+class Mailbox:
+    """Bounded FIFO of undelivered notifications for one subscriber.
+
+    When the mailbox overflows, the *oldest* notifications are dropped —
+    in a top-k freshness system the newest updates are the valuable ones.
+    Dropped counts are tracked so consumers can detect lag.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._items: Deque[Notification] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._capacity = capacity
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def push(self, notification: Notification) -> None:
+        if len(self._items) == self._capacity:
+            self.dropped += 1
+        self._items.append(notification)
+
+    def drain(self) -> List[Notification]:
+        """Remove and return all pending notifications, oldest first."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Subscription:
+    """A subscriber's handle on one standing DAS query."""
+
+    def __init__(
+        self,
+        query: DasQuery,
+        service: "object",
+        callback: Optional[DeliveryCallback] = None,
+        mailbox: Optional[Mailbox] = None,
+    ) -> None:
+        self.query = query
+        self._service = service
+        self.callback = callback
+        self.mailbox = mailbox
+        self.active = True
+        self.delivered = 0
+        self.callback_errors = 0
+
+    @property
+    def query_id(self) -> int:
+        return self.query.query_id
+
+    def deliver(self, notification: Notification) -> None:
+        """Route one notification to the callback and/or mailbox."""
+        if not self.active:
+            return
+        self.delivered += 1
+        if self.mailbox is not None:
+            self.mailbox.push(notification)
+        if self.callback is not None:
+            try:
+                self.callback(notification)
+            except Exception:
+                # Subscriber code must not break the publish path; the
+                # error count surfaces the problem to monitoring.
+                self.callback_errors += 1
+
+    def results(self) -> List[Document]:
+        """Live result set, newest first."""
+        return self._service.results(self.query_id)
+
+    def cancel(self) -> None:
+        """Unsubscribe; the handle becomes inert."""
+        if self.active:
+            self._service.unsubscribe(self.query_id)
+            self.active = False
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "cancelled"
+        return f"Subscription(query={self.query_id}, {state})"

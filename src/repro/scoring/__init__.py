@@ -1,0 +1,34 @@
+"""Scoring: relevance, recency, diversity, and Lemma-1 contributions."""
+
+from repro.scoring.contribution import (
+    contribution_from_parts,
+    dr_of_new,
+    dr_of_oldest,
+    replacement_improves,
+)
+from repro.scoring.diversity import (
+    diversity_coefficient,
+    diversity_score,
+    dr_score,
+    pairwise_dissimilarity_sum,
+    relevance_score,
+    sum_similarity_to,
+)
+from repro.scoring.recency import NO_DECAY, ExponentialDecay
+from repro.scoring.relevance import LanguageModelScorer
+
+__all__ = [
+    "ExponentialDecay",
+    "LanguageModelScorer",
+    "NO_DECAY",
+    "contribution_from_parts",
+    "diversity_coefficient",
+    "diversity_score",
+    "dr_of_new",
+    "dr_of_oldest",
+    "dr_score",
+    "pairwise_dissimilarity_sum",
+    "relevance_score",
+    "replacement_improves",
+    "sum_similarity_to",
+]

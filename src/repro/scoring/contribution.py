@@ -1,0 +1,101 @@
+"""Per-document diversity-and-relevance contributions (Lemma 1).
+
+The engines never compare ``DR(q.R')`` with ``DR(q.R)`` directly;
+instead, by Lemma 1,
+
+    DR(q.R') - DR(q.R) = dr_q(d_n) - dr_q(q.d_e)
+
+where the two contributions are Eq. 8 and Eq. 7.  This module provides
+both the reference O(k) computations over explicit document sets and the
+closed forms used by the result tables:
+
+    dr_q(d)  = α · TRel(q, d) · T(d)
+             + (2 - 2α)/(k - 1) · ((k - 1) - Σ_{d_i} Sim(d, d_i))
+
+because ``Σ d(d, d_i) = (k - 1) - Σ Sim(d, d_i)`` over ``k - 1`` other
+documents.  For a new document ``T(d_n) = 1`` (it was created now).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.scoring.diversity import diversity_coefficient, sum_similarity_to
+from repro.scoring.recency import ExponentialDecay
+from repro.scoring.relevance import LanguageModelScorer
+from repro.stream.document import Document
+
+
+def contribution_from_parts(
+    trel: float,
+    recency: float,
+    sim_sum: float,
+    alpha: float,
+    k: int,
+) -> float:
+    """``dr_q`` from its precomputed parts.
+
+    ``sim_sum`` is ``Σ Sim(d, d_i)`` against the other ``k - 1`` result
+    documents; ``recency`` is ``T(d)`` at the evaluation time.
+    """
+    coeff = diversity_coefficient(alpha, k)
+    return alpha * trel * recency + coeff * ((k - 1) - sim_sum)
+
+
+def dr_of_oldest(
+    query_terms: Iterable[str],
+    documents: Sequence[Document],
+    scorer: LanguageModelScorer,
+    decay: ExponentialDecay,
+    now: float,
+    alpha: float,
+    k: int,
+) -> float:
+    """``dr_q(q.d_e)`` (Eq. 7) computed from scratch.
+
+    ``documents`` is the full result set; the document with the earliest
+    creation time is the oldest.  Reference implementation for tests and
+    the naive baseline.
+    """
+    oldest = min(documents, key=lambda d: (d.created_at, d.doc_id))
+    rest = [d for d in documents if d.doc_id != oldest.doc_id]
+    trel = scorer.trel(query_terms, oldest.vector)
+    recency = decay.at(oldest.created_at, now)
+    sim_sum = sum_similarity_to(oldest, rest)
+    return contribution_from_parts(trel, recency, sim_sum, alpha, k)
+
+
+def dr_of_new(
+    query_terms: Iterable[str],
+    new_document: Document,
+    kept_documents: Sequence[Document],
+    scorer: LanguageModelScorer,
+    alpha: float,
+    k: int,
+) -> float:
+    """``dr_q(d_n)`` (Eq. 8): the new document arrives *now*, so T = 1.
+
+    ``kept_documents`` is ``q.R' \\ {d_n} = q.R \\ {q.d_e}``.
+    """
+    trel = scorer.trel(query_terms, new_document.vector)
+    sim_sum = sum_similarity_to(new_document, kept_documents)
+    return contribution_from_parts(trel, 1.0, sim_sum, alpha, k)
+
+
+def replacement_improves(
+    query_terms: Iterable[str],
+    documents: Sequence[Document],
+    new_document: Document,
+    scorer: LanguageModelScorer,
+    decay: ExponentialDecay,
+    now: float,
+    alpha: float,
+    k: int,
+) -> bool:
+    """Definition 2's replacement test via Lemma 1 (strict improvement)."""
+    terms = tuple(query_terms)
+    oldest = min(documents, key=lambda d: (d.created_at, d.doc_id))
+    kept = [d for d in documents if d.doc_id != oldest.doc_id]
+    dr_new = dr_of_new(terms, new_document, kept, scorer, alpha, k)
+    dr_old = dr_of_oldest(terms, documents, scorer, decay, now, alpha, k)
+    return dr_new > dr_old

@@ -1,0 +1,85 @@
+"""Max-sum diversity and the combined diversity-and-relevance score.
+
+Implements Eq. 1 (``DR``), Eq. 5 (``D``) and the coefficient
+``(2 - 2α)/(k - 1)`` that recurs throughout the filtering machinery.  All
+functions take explicit document sequences so they double as the
+reference ("textbook") implementations that the optimised engine is
+tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.scoring.recency import ExponentialDecay
+from repro.scoring.relevance import LanguageModelScorer
+from repro.stream.document import Document
+from repro.text.vectors import cosine_similarity, dissimilarity
+
+
+def diversity_coefficient(alpha: float, k: int) -> float:
+    """``(2 - 2α)/(k - 1)``; zero when k <= 1 (no pairs to diversify)."""
+    if k <= 1:
+        return 0.0
+    return (2.0 - 2.0 * alpha) / (k - 1)
+
+
+def pairwise_dissimilarity_sum(documents: Sequence[Document]) -> float:
+    """``Σ_{i<j} d(d_i, d_j)`` over the set."""
+    total = 0.0
+    n = len(documents)
+    for i in range(n):
+        vec_i = documents[i].vector
+        for j in range(i + 1, n):
+            total += dissimilarity(vec_i, documents[j].vector)
+    return total
+
+
+def diversity_score(documents: Sequence[Document], k: int) -> float:
+    """``D(q.R)`` (Eq. 5) with the paper's ``2/(k-1)`` normalisation."""
+    if k <= 1:
+        return 0.0
+    return 2.0 / (k - 1) * pairwise_dissimilarity_sum(documents)
+
+
+def relevance_score(
+    query_terms: Iterable[str],
+    document: Document,
+    scorer: LanguageModelScorer,
+    decay: ExponentialDecay,
+    now: float,
+) -> float:
+    """``R(q, d) = TRel(q, d) × T(d)`` (Eq. 2)."""
+    return scorer.trel(query_terms, document.vector) * decay.at(
+        document.created_at, now
+    )
+
+
+def dr_score(
+    query_terms: Iterable[str],
+    documents: Sequence[Document],
+    scorer: LanguageModelScorer,
+    decay: ExponentialDecay,
+    now: float,
+    alpha: float,
+    k: int,
+) -> float:
+    """``DR(q.R)`` (Eq. 1), computed from first principles in O(k²).
+
+    This is the straightforward reference the engines must agree with
+    (via Lemma 1); it is also the scoring core of the naive baseline.
+    """
+    terms = tuple(query_terms)
+    relevance = sum(
+        relevance_score(terms, document, scorer, decay, now)
+        for document in documents
+    )
+    return alpha * relevance + (1.0 - alpha) * diversity_score(documents, k)
+
+
+def sum_similarity_to(
+    document: Document, others: Iterable[Document]
+) -> float:
+    """``Σ Sim(d, d_i)`` of one document against a set."""
+    vector = document.vector
+    return sum(cosine_similarity(vector, other.vector) for other in others)

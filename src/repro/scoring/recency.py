@@ -1,0 +1,51 @@
+"""Exponential decay recency (Eq. 4).
+
+``T(d) = B^{-(t_cur - d.t_c)}`` with base ``B >= 1``.  The paper's
+experiments parameterise the decay by the *decaying scale*
+``B^{-Δt_sim}`` — the recency a document retains after the whole
+simulation — which :meth:`ExponentialDecay.from_scale` reproduces.
+"""
+
+from __future__ import annotations
+
+
+class ExponentialDecay:
+    """Monotone exponential recency function."""
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: float) -> None:
+        if base < 1.0:
+            raise ValueError(f"decay base must be >= 1, got {base}")
+        self.base = float(base)
+
+    @classmethod
+    def from_scale(cls, scale: float, horizon: float) -> "ExponentialDecay":
+        """Build a decay whose value after ``horizon`` seconds is ``scale``."""
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        if horizon <= 0.0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        return cls(scale ** (-1.0 / horizon))
+
+    @classmethod
+    def from_half_life(cls, half_life: float) -> "ExponentialDecay":
+        """Build a decay with value 0.5 after ``half_life`` seconds."""
+        return cls.from_scale(0.5, half_life)
+
+    def at_age(self, age: float) -> float:
+        """``T`` for a document ``age`` seconds old (clamped at age 0)."""
+        if age <= 0.0:
+            return 1.0
+        return self.base ** (-age)
+
+    def at(self, created_at: float, now: float) -> float:
+        """``T(d)`` for a document created at ``created_at``."""
+        return self.at_age(now - created_at)
+
+    def __repr__(self) -> str:
+        return f"ExponentialDecay(base={self.base!r})"
+
+
+#: Decay that ignores time entirely (``T(d) == 1`` always).
+NO_DECAY = ExponentialDecay(1.0)

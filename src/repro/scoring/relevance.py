@@ -1,0 +1,83 @@
+"""Language-model text relevance (Eq. 3 and the ``PS`` formula).
+
+``PS(d, w)`` is the Jelinek-Mercer smoothed probability of term ``w``
+under the document's language model; ``TRel(q, d)`` is the product over
+the query keywords.  The scorer holds a reference to the shared, evolving
+:class:`~repro.text.collection_stats.CollectionStatistics`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.text.collection_stats import CollectionStatistics
+from repro.text.vectors import TermVector
+
+
+class LanguageModelScorer:
+    """Smoothed language-model scorer shared by all queries of an engine."""
+
+    __slots__ = ("_stats", "_lambda")
+
+    def __init__(self, stats: CollectionStatistics, smoothing_lambda: float) -> None:
+        if not 0.0 <= smoothing_lambda <= 1.0:
+            raise ValueError(
+                f"smoothing_lambda must be in [0, 1], got {smoothing_lambda}"
+            )
+        self._stats = stats
+        self._lambda = smoothing_lambda
+
+    @property
+    def stats(self) -> CollectionStatistics:
+        return self._stats
+
+    @property
+    def smoothing_lambda(self) -> float:
+        return self._lambda
+
+    def ps(self, vector: TermVector, term: str) -> float:
+        """``PS(d.v_d, w)`` — smoothed term probability."""
+        background = self._lambda * self._stats.probability(term)
+        if vector.length == 0:
+            return background
+        return (
+            (1.0 - self._lambda) * vector.frequency(term) / vector.length
+            + background
+        )
+
+    def background(self, term: str) -> float:
+        """``PS`` for a document that does not contain ``term``."""
+        return self._lambda * self._stats.probability(term)
+
+    def trel(self, query_terms: Iterable[str], vector: TermVector) -> float:
+        """``TRel(q, d)`` — product of ``PS`` over the query keywords."""
+        score = 1.0
+        for term in query_terms:
+            score *= self.ps(vector, term)
+        return score
+
+    def trel_from_ps(
+        self,
+        query_terms: Iterable[str],
+        ps_cache: Dict[str, float],
+        vector: TermVector,
+    ) -> float:
+        """``TRel`` reusing per-document ``PS`` values computed earlier.
+
+        ``ps_cache`` maps terms *present in the document* to their ``PS``;
+        query keywords missing from the cache fall back to the background
+        probability.  This is the hot path of document processing, where
+        each document's ``PS`` values are computed once and reused across
+        every candidate query.
+        """
+        score = 1.0
+        for term in query_terms:
+            value = ps_cache.get(term)
+            if value is None:
+                if term in vector:
+                    value = self.ps(vector, term)
+                    ps_cache[term] = value
+                else:
+                    value = self.background(term)
+            score *= value
+        return score

@@ -1,0 +1,40 @@
+"""Simulation clock.
+
+Recency (Eq. 4) depends on ``t_cur``; to keep experiments deterministic
+and engines comparable, time is owned by an explicit clock object that the
+experiment driver advances rather than the wall clock.
+"""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """Monotonic simulated time in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative deltas are rejected."""
+        if seconds < 0.0:
+            raise ValueError(f"cannot move time backwards (delta={seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time not earlier than the current one."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move time backwards (now={self._now}, to={timestamp})"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulationClock(now={self._now:.3f})"

@@ -1,0 +1,62 @@
+"""Stream documents (Definition 1).
+
+A document is the triple ``d = <id, v_d, t_c>``: an id assigned in
+creation-time order, a term-frequency vector over the vocabulary, and a
+creation timestamp.  The original text is kept optionally for display in
+examples and the user-study proxy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.text.vectors import TermVector
+
+
+class Document:
+    """A single published item of the text stream."""
+
+    __slots__ = ("doc_id", "vector", "created_at", "text")
+
+    def __init__(
+        self,
+        doc_id: int,
+        vector: TermVector,
+        created_at: float,
+        text: Optional[str] = None,
+    ) -> None:
+        self.doc_id = doc_id
+        self.vector = vector
+        self.created_at = created_at
+        self.text = text
+
+    @classmethod
+    def from_tokens(
+        cls,
+        doc_id: int,
+        tokens: Iterable[str],
+        created_at: float,
+        text: Optional[str] = None,
+    ) -> "Document":
+        return cls(doc_id, TermVector.from_tokens(tokens), created_at, text)
+
+    @classmethod
+    def from_text(cls, doc_id: int, text: str, created_at: float) -> "Document":
+        return cls(doc_id, TermVector.from_text(text), created_at, text)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Document):
+            return NotImplemented
+        return self.doc_id == other.doc_id
+
+    def __hash__(self) -> int:
+        return hash(self.doc_id)
+
+    def __lt__(self, other: "Document") -> bool:
+        return self.doc_id < other.doc_id
+
+    def __repr__(self) -> str:
+        return (
+            f"Document(id={self.doc_id}, terms={len(self.vector)}, "
+            f"t_c={self.created_at:.3f})"
+        )

@@ -1,0 +1,29 @@
+"""Text substrate: tokenisation, term vectors, vocabulary, statistics."""
+
+from repro.text.collection_stats import CollectionStatistics
+from repro.text.stopwords import ENGLISH_STOPWORDS
+from repro.text.tokenizer import DEFAULT_TOKENIZER, Tokenizer, tokenize
+from repro.text.vectors import (
+    EMPTY_VECTOR,
+    TermVector,
+    angular_distance,
+    angular_similarity,
+    cosine_similarity,
+    dissimilarity,
+)
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "CollectionStatistics",
+    "DEFAULT_TOKENIZER",
+    "EMPTY_VECTOR",
+    "ENGLISH_STOPWORDS",
+    "TermVector",
+    "Tokenizer",
+    "Vocabulary",
+    "angular_distance",
+    "angular_similarity",
+    "cosine_similarity",
+    "dissimilarity",
+    "tokenize",
+]

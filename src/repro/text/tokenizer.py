@@ -1,0 +1,80 @@
+"""Tokenisation of raw microblog text into index terms.
+
+The tokenizer is intentionally simple and deterministic: lowercase,
+extract word characters (keeping ``#hashtags`` and ``@mentions`` as single
+terms, as is conventional for tweets), drop stop-words and terms shorter
+than a minimum length.  Everything downstream of this module operates on
+token sequences, so alternative tokenizers can be swapped in freely.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.text.stopwords import ENGLISH_STOPWORDS
+
+_TOKEN_RE = re.compile(r"[#@]?\w+")
+_URL_RE = re.compile(r"https?://\S+|www\.\S+")
+
+
+class Tokenizer:
+    """Convert raw text into a list of index terms.
+
+    Parameters
+    ----------
+    stopwords:
+        Terms to drop.  Defaults to :data:`ENGLISH_STOPWORDS`; pass an
+        empty set to keep everything.
+    min_length:
+        Minimum term length after normalisation (default 2).
+    strip_urls:
+        Remove URLs before tokenising (default True; URLs are noise for
+        keyword subscription matching).
+    """
+
+    def __init__(
+        self,
+        stopwords: Optional[Iterable[str]] = None,
+        min_length: int = 2,
+        strip_urls: bool = True,
+    ) -> None:
+        if stopwords is None:
+            self._stopwords: FrozenSet[str] = ENGLISH_STOPWORDS
+        else:
+            self._stopwords = frozenset(w.lower() for w in stopwords)
+        self._min_length = min_length
+        self._strip_urls = strip_urls
+
+    @property
+    def stopwords(self) -> FrozenSet[str]:
+        return self._stopwords
+
+    def tokenize(self, text: str) -> List[str]:
+        """Return the index terms of ``text`` in order of appearance."""
+        if self._strip_urls:
+            text = _URL_RE.sub(" ", text)
+        tokens = []
+        for match in _TOKEN_RE.finditer(text.lower()):
+            token = match.group()
+            core = token.lstrip("#@")
+            if len(core) < self._min_length:
+                continue
+            if core in self._stopwords:
+                continue
+            if core.isdigit():
+                continue
+            tokens.append(token)
+        return tokens
+
+    def __call__(self, text: str) -> List[str]:
+        return self.tokenize(text)
+
+
+#: Shared default tokenizer instance.
+DEFAULT_TOKENIZER = Tokenizer()
+
+
+def tokenize(text: str) -> List[str]:
+    """Tokenise ``text`` with the default tokenizer."""
+    return DEFAULT_TOKENIZER.tokenize(text)

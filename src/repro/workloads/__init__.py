@@ -1,0 +1,21 @@
+"""Workloads: synthetic corpus, query sets, arrival schedules."""
+
+from repro.workloads.corpus import SyntheticTweetCorpus, zipf_weights
+from repro.workloads.queries import lqd_queries, sqd_queries
+from repro.workloads.schedule import (
+    Event,
+    EventKind,
+    interleave,
+    split_into_intervals,
+)
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "SyntheticTweetCorpus",
+    "interleave",
+    "lqd_queries",
+    "split_into_intervals",
+    "sqd_queries",
+    "zipf_weights",
+]

@@ -1,0 +1,75 @@
+"""Subscription query generation (Section 8.2).
+
+Two query sets mirror the paper's:
+
+* **LQD** — for each query, pick a random corpus document and use 1-5 of
+  its distinct terms as keywords ("the tweets posted by the user may
+  reveal the interests of the user").  Popular terms naturally dominate.
+* **SQD** — keywords are 1-5 trending topics, drawn from the corpus's
+  trending-terms list (standing in for Twitter's 2012 trending page).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.query import DasQuery
+from repro.workloads.corpus import SyntheticTweetCorpus
+
+
+def lqd_queries(
+    corpus: SyntheticTweetCorpus,
+    n: int,
+    min_terms: int = 1,
+    max_terms: int = 5,
+    first_id: int = 0,
+    rng: Optional[random.Random] = None,
+    sample_docs: int = 500,
+) -> List[DasQuery]:
+    """LQD-style queries: keywords sampled from synthetic documents."""
+    _validate(n, min_terms, max_terms)
+    rng = rng if rng is not None else corpus.fresh_rng(salt=101)
+    # A pool of documents to sample keyword sources from.
+    pool = [corpus.generate_tokens(rng) for _ in range(max(1, sample_docs))]
+    queries: List[DasQuery] = []
+    for offset in range(n):
+        tokens = rng.choice(pool)
+        distinct = sorted(set(tokens))
+        count = rng.randint(min_terms, min(max_terms, len(distinct)))
+        keywords = rng.sample(distinct, count)
+        queries.append(DasQuery(first_id + offset, keywords))
+    return queries
+
+
+def sqd_queries(
+    trending: Sequence[str],
+    n: int,
+    min_terms: int = 1,
+    max_terms: int = 5,
+    first_id: int = 0,
+    rng: Optional[random.Random] = None,
+) -> List[DasQuery]:
+    """SQD-style queries: keywords are trending topics."""
+    _validate(n, min_terms, max_terms)
+    if not trending:
+        raise ValueError("trending term list is empty")
+    rng = rng if rng is not None else random.Random(202)
+    distinct = sorted(set(trending))
+    queries: List[DasQuery] = []
+    for offset in range(n):
+        count = rng.randint(min_terms, min(max_terms, len(distinct)))
+        keywords = rng.sample(distinct, count)
+        queries.append(DasQuery(first_id + offset, keywords))
+    return queries
+
+
+def _validate(n: int, min_terms: int, max_terms: int) -> None:
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if min_terms < 1:
+        raise ValueError(f"min_terms must be >= 1, got {min_terms}")
+    if max_terms < min_terms:
+        raise ValueError(
+            f"max_terms ({max_terms}) must be >= min_terms ({min_terms})"
+        )

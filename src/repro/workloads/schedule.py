@@ -1,0 +1,98 @@
+"""Arrival schedules: interleaved document and query events.
+
+The paper's runtime experiments issue "1 document and 1 new query each
+second" after initialising the system with a large query set.  The
+schedule captures that shape: a pre-load of subscriptions, then a merged
+timeline of document and query arrivals at configurable rates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from repro.core.query import DasQuery
+from repro.stream.document import Document
+
+
+class EventKind(enum.Enum):
+    DOCUMENT = "document"
+    QUERY = "query"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timeline entry: a document publication or a query arrival."""
+
+    time: float
+    kind: EventKind
+    payload: Union[Document, DasQuery]
+
+    @property
+    def document(self) -> Document:
+        assert self.kind is EventKind.DOCUMENT
+        return self.payload  # type: ignore[return-value]
+
+    @property
+    def query(self) -> DasQuery:
+        assert self.kind is EventKind.QUERY
+        return self.payload  # type: ignore[return-value]
+
+
+def interleave(
+    documents: Sequence[Document],
+    queries: Sequence[DasQuery],
+    doc_rate: float = 1.0,
+    query_rate: float = 1.0,
+    start_time: float = 0.0,
+) -> List[Event]:
+    """Merge document and query arrivals into one timeline.
+
+    ``doc_rate`` and ``query_rate`` are events per second.  Documents are
+    re-stamped with their scheduled arrival times (their relative order
+    is preserved); queries arrive in the given order.  Ties are broken in
+    favour of documents, matching a pub/sub system where matching work
+    dominates.
+    """
+    if doc_rate <= 0.0 and documents:
+        raise ValueError(f"doc_rate must be > 0, got {doc_rate}")
+    if query_rate <= 0.0 and queries:
+        raise ValueError(f"query_rate must be > 0, got {query_rate}")
+    events: List[Event] = []
+    doc_interval = 1.0 / doc_rate if doc_rate > 0 else 0.0
+    for index, document in enumerate(documents):
+        timestamp = start_time + index * doc_interval
+        stamped = Document(
+            document.doc_id, document.vector, timestamp, document.text
+        )
+        events.append(Event(timestamp, EventKind.DOCUMENT, stamped))
+    query_interval = 1.0 / query_rate if query_rate > 0 else 0.0
+    for index, query in enumerate(queries):
+        timestamp = start_time + index * query_interval
+        events.append(Event(timestamp, EventKind.QUERY, query))
+    events.sort(
+        key=lambda event: (event.time, 0 if event.kind is EventKind.DOCUMENT else 1)
+    )
+    return events
+
+
+def split_into_intervals(
+    events: Sequence[Event], n_intervals: int
+) -> List[List[Event]]:
+    """Partition a timeline into equal-duration intervals (Figure 4's
+    per-10-minute reporting)."""
+    if n_intervals < 1:
+        raise ValueError(f"n_intervals must be >= 1, got {n_intervals}")
+    if not events:
+        return [[] for _ in range(n_intervals)]
+    start = events[0].time
+    end = events[-1].time
+    span = max(end - start, 1e-9)
+    buckets: List[List[Event]] = [[] for _ in range(n_intervals)]
+    for event in events:
+        index = int((event.time - start) / span * n_intervals)
+        if index >= n_intervals:
+            index = n_intervals - 1
+        buckets[index].append(event)
+    return buckets

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    CollectionStatistics,
+    DasEngine,
+    DasQuery,
+    Document,
+    ExponentialDecay,
+    LanguageModelScorer,
+    SyntheticTweetCorpus,
+    TermVector,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20150531)
+
+
+@pytest.fixture
+def small_corpus():
+    """A tiny deterministic corpus for integration-style tests."""
+    return SyntheticTweetCorpus(
+        vocab_size=300, n_topics=10, doc_length=(4, 9), seed=11
+    )
+
+
+@pytest.fixture
+def stats_with_docs():
+    """Collection statistics over a handful of fixed documents."""
+    stats = CollectionStatistics()
+    for tokens in (
+        ["coffee", "espresso", "milk"],
+        ["coffee", "beans", "roast", "coffee"],
+        ["tea", "green", "leaves"],
+        ["espresso", "machine"],
+    ):
+        stats.add(TermVector.from_tokens(tokens))
+    return stats
+
+
+@pytest.fixture
+def scorer(stats_with_docs):
+    return LanguageModelScorer(stats_with_docs, smoothing_lambda=0.5)
+
+
+@pytest.fixture
+def decay():
+    return ExponentialDecay(1.001)
+
+
+def make_documents(token_lists, start_time=0.0, interval=1.0, first_id=0):
+    """Helper: documents with sequential ids and regular timestamps."""
+    return [
+        Document.from_tokens(first_id + i, tokens, start_time + i * interval)
+        for i, tokens in enumerate(token_lists)
+    ]
+
+
+@pytest.fixture
+def make_docs():
+    return make_documents
+
+
+@pytest.fixture
+def gifilter_engine():
+    return DasEngine.for_method("GIFilter", k=3, block_size=4)
+
+
+@pytest.fixture
+def queries_abc():
+    return [
+        DasQuery(0, ["coffee"]),
+        DasQuery(1, ["coffee", "espresso"]),
+        DasQuery(2, ["tea"]),
+    ]

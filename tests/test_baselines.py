@@ -1,0 +1,219 @@
+"""Tests for the DisC and MSInc baselines and the IRT/BIRT factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BirtEngine,
+    DiscEngine,
+    IrtEngine,
+    MsIncEngine,
+    basic_disc,
+    greedy_disc,
+    tune_radius,
+)
+from repro.config import EngineConfig
+from repro.core.query import DasQuery
+from repro.errors import DuplicateQueryError, UnknownQueryError
+from repro.stream.document import Document
+from repro.text.vectors import angular_distance
+
+
+def doc(i, tokens, t=None):
+    return Document.from_tokens(i, tokens, float(i) if t is None else t)
+
+
+# -- IRT / BIRT factories ---------------------------------------------------------
+
+
+def test_irt_birt_factories():
+    irt = IrtEngine(k=5)
+    birt = BirtEngine(k=5)
+    assert irt.method_name == "IRT"
+    assert birt.method_name == "BIRT"
+    assert not irt.config.use_blocks
+    assert birt.config.use_blocks
+    assert not birt.config.use_agg_weights
+
+
+# -- DisC algorithms -----------------------------------------------------------------
+
+
+def docs_two_clusters():
+    return [
+        doc(0, ["apple", "fruit"]),
+        doc(1, ["apple", "fruit", "red"]),
+        doc(2, ["apple", "fruit"]),
+        doc(3, ["quantum", "physics"]),
+        doc(4, ["quantum", "physics", "lab"]),
+    ]
+
+
+def test_basic_disc_covers_and_is_independent():
+    candidates = docs_two_clusters()
+    radius = 0.4
+    selected = basic_disc(candidates, radius)
+    # Covering: every candidate within radius of some selected item.
+    for candidate in candidates:
+        assert any(
+            angular_distance(candidate.vector, s.vector) <= radius
+            for s in selected
+        )
+    # Independence: no two selected items are similar.
+    for i, a in enumerate(selected):
+        for b in selected[i + 1 :]:
+            assert angular_distance(a.vector, b.vector) > radius
+
+
+def test_greedy_disc_same_invariants():
+    candidates = docs_two_clusters()
+    radius = 0.4
+    selected = greedy_disc(candidates, radius)
+    for candidate in candidates:
+        assert any(
+            angular_distance(candidate.vector, s.vector) <= radius
+            for s in selected
+        )
+    for i, a in enumerate(selected):
+        for b in selected[i + 1 :]:
+            assert angular_distance(a.vector, b.vector) > radius
+
+
+def test_disc_two_clusters_two_representatives():
+    selected = greedy_disc(docs_two_clusters(), radius=0.4)
+    assert len(selected) == 2
+
+
+def test_disc_empty_candidates():
+    assert basic_disc([], 0.3) == []
+    assert greedy_disc([], 0.3) == []
+
+
+def test_tune_radius_hits_target():
+    # Gradated overlap: doc i shares i tokens of "common" with neighbours,
+    # yielding a spread of pairwise distances (sizes vary with radius).
+    candidates = [
+        doc(i, [f"t{i}"] * 2 + ["common"] * (i % 7)) for i in range(24)
+    ]
+    radius = tune_radius(candidates, target_size=5)
+    size = len(greedy_disc(candidates, radius))
+    assert 2 <= size <= 9  # close to target on this instance
+
+
+def test_tune_radius_validation():
+    with pytest.raises(ValueError):
+        tune_radius([], target_size=0)
+
+
+# -- DiscEngine -------------------------------------------------------------------------
+
+
+def test_disc_engine_lifecycle():
+    engine = DiscEngine(radius=0.4, window_size=10, refresh_every=2)
+    engine.subscribe(DasQuery(0, ["apple"]))
+    assert engine.query_count == 1
+    with pytest.raises(DuplicateQueryError):
+        engine.subscribe(DasQuery(0, ["apple"]))
+    notes = []
+    for i, tokens in enumerate(
+        (["apple"], ["apple", "pie"], ["banana"], ["apple", "cake"])
+    ):
+        notes.extend(engine.publish(doc(i, tokens)))
+    assert engine.results(0)  # apple docs selected
+    assert all(note.query_id == 0 for note in notes)
+    engine.unsubscribe(0)
+    with pytest.raises(UnknownQueryError):
+        engine.results(0)
+    with pytest.raises(UnknownQueryError):
+        engine.unsubscribe(0)
+
+
+def test_disc_engine_window_bounds_memory():
+    engine = DiscEngine(window_size=3, refresh_every=100)
+    for i in range(10):
+        engine.publish(doc(i, ["x"]))
+    assert len(engine._window) == 3
+
+
+def test_disc_engine_refresh_periodically():
+    engine = DiscEngine(radius=0.3, window_size=100, refresh_every=3)
+    engine.subscribe(DasQuery(0, ["zebra"]))
+    out = []
+    for i in range(6):
+        out.append(bool(engine.publish(doc(i, ["zebra", f"u{i}"]))))
+    # refresh fires at documents 3 and 6
+    assert out[2] or out[5]
+
+
+def test_disc_engine_validation():
+    with pytest.raises(ValueError):
+        DiscEngine(radius=2.0)
+    with pytest.raises(ValueError):
+        DiscEngine(window_size=0)
+    with pytest.raises(ValueError):
+        DiscEngine(refresh_every=0)
+    with pytest.raises(ValueError):
+        DiscEngine(algorithm="fancy")
+
+
+# -- MsIncEngine ----------------------------------------------------------------------------
+
+
+def msinc(k=2, alpha=0.3):
+    return MsIncEngine(
+        EngineConfig(
+            k=k, alpha=alpha,
+            use_blocks=False, use_group_filter=False, use_agg_weights=False,
+        )
+    )
+
+
+def test_msinc_fills_then_swaps():
+    engine = msinc(k=2)
+    engine.subscribe(DasQuery(0, ["news"]))
+    engine.publish(doc(0, ["news", "dup"]))
+    engine.publish(doc(1, ["news", "dup"]))
+    assert len(engine.results(0)) == 2
+    # A diverse fresh document should improve the max-sum objective.
+    notes = engine.publish(doc(5, ["news", "unique", "fresh"], t=5.0))
+    assert notes and notes[0].is_replacement
+    assert 5 in [d.doc_id for d in engine.results(0)]
+
+
+def test_msinc_rejects_worse_document():
+    engine = msinc(k=2, alpha=0.9)
+    engine.subscribe(DasQuery(0, ["news"]))
+    engine.publish(doc(0, ["news", "a"]))
+    engine.publish(doc(1, ["news", "b"]))
+    before = engine.current_dr(0)
+    # A duplicate of an existing result adds nothing.
+    engine.publish(doc(2, ["news", "b"], t=1.0))
+    assert engine.current_dr(0) >= before - 1e-9
+
+
+def test_msinc_ignores_non_matching():
+    engine = msinc()
+    engine.subscribe(DasQuery(0, ["news"]))
+    assert engine.publish(doc(0, ["sports"])) == []
+
+
+def test_msinc_lifecycle_errors():
+    engine = msinc()
+    engine.subscribe(DasQuery(0, ["a"]))
+    with pytest.raises(DuplicateQueryError):
+        engine.subscribe(DasQuery(0, ["a"]))
+    with pytest.raises(UnknownQueryError):
+        engine.results(3)
+    engine.unsubscribe(0)
+    with pytest.raises(UnknownQueryError):
+        engine.unsubscribe(0)
+
+
+def test_msinc_results_newest_first():
+    engine = msinc(k=3)
+    engine.subscribe(DasQuery(0, ["t"]))
+    for i in range(3):
+        engine.publish(doc(i, ["t", f"v{i}"]))
+    ids = [d.doc_id for d in engine.results(0)]
+    assert ids == sorted(ids, reverse=True)

@@ -1,0 +1,208 @@
+"""Tests for postings blocks and the query inverted file."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import PostingsBlock
+from repro.core.inverted_file import PostingsList, QueryInvertedFile
+from repro.core.query import DasQuery
+from repro.core.result_set import QueryResultSet
+from repro.stream.document import Document
+
+
+def filled_result_set(k, docs, trel=0.2):
+    rs = QueryResultSet(k, track_aggregated_weights=False)
+    for d in docs:
+        rs.admit(d, trel, rs.similarities_to(d.vector))
+    return rs
+
+
+def doc(i, tokens):
+    return Document.from_tokens(i, tokens, float(i))
+
+
+# -- PostingsBlock ---------------------------------------------------------------
+
+
+def test_block_append_keeps_order():
+    block = PostingsBlock()
+    block.append(1)
+    block.append(5)
+    assert block.min_id == 1 and block.max_id == 5
+    assert len(block) == 2
+    with pytest.raises(ValueError):
+        block.append(3)
+
+
+def test_block_append_invalidates_mcs():
+    block = PostingsBlock()
+    block.append(1)
+    block.mcs_sets = []
+    block.mcs_initial_count = 0
+    block.append(2)
+    assert block.mcs_sets is None
+
+
+def test_block_remove():
+    block = PostingsBlock()
+    for qid in (1, 2, 3):
+        block.append(qid)
+    assert block.remove(2)
+    assert block.query_ids == [1, 3]
+    assert not block.remove(9)
+
+
+def test_refresh_metadata_all_filled():
+    block = PostingsBlock()
+    block.append(0)
+    block.append(1)
+    result_sets = {
+        0: filled_result_set(2, [doc(0, ["w"]), doc(1, ["w"])], trel=0.4),
+        1: filled_result_set(2, [doc(2, ["w"]), doc(3, ["x"])], trel=0.1),
+    }
+    block.refresh_metadata(result_sets, alpha=0.3)
+    assert not block.meta_dirty
+    assert not block.has_unfilled
+    assert block.unfilled_ids == []
+    assert block.trel_max_de == pytest.approx(0.4)
+    assert block.earliest_de == 0.0
+    expected_min = min(
+        result_sets[0].static_dr_oldest(0.3), result_sets[1].static_dr_oldest(0.3)
+    )
+    assert block.dtrel_min == pytest.approx(expected_min)
+
+
+def test_refresh_metadata_with_unfilled_member():
+    block = PostingsBlock()
+    block.append(0)
+    block.append(1)
+    result_sets = {
+        0: filled_result_set(2, [doc(0, ["w"]), doc(1, ["w"])]),
+        1: filled_result_set(2, [doc(2, ["w"])]),  # only 1 of 2 -> unfilled
+    }
+    block.refresh_metadata(result_sets, alpha=0.3)
+    assert block.has_unfilled
+    assert block.unfilled_ids == [1]
+    # summaries still cover the filled member
+    assert block.dtrel_min == pytest.approx(result_sets[0].static_dr_oldest(0.3))
+
+
+def test_refresh_metadata_nothing_filled():
+    block = PostingsBlock()
+    block.append(0)
+    result_sets = {0: filled_result_set(2, [doc(0, ["w"])])}
+    block.refresh_metadata(result_sets, alpha=0.3)
+    assert block.dtrel_min == float("-inf")
+
+
+def test_rebuild_and_invalidate_mcs():
+    block = PostingsBlock()
+    block.append(0)
+    block.append(1)
+    shared = doc(1, ["w"])
+    result_sets = {
+        0: filled_result_set(2, [doc(0, ["w"]), shared]),
+        1: filled_result_set(2, [doc(0, ["w"]), shared]),
+    }
+    # Admit shared as the newer doc of both; universe = {shared} (oldest
+    # excluded).
+    block.rebuild_mcs("w", result_sets)
+    assert block.mcs_sets and block.mcs_initial_count == 1
+    assert block.needs_mcs_rebuild(0.5) is False
+    dropped = block.invalidate_mcs_with(frozenset({shared.doc_id}))
+    assert dropped == 1
+    assert block.mcs_sets == []
+    assert block.needs_mcs_rebuild(0.5) is True  # 0/1 < 0.5
+
+
+def test_needs_rebuild_when_unbuilt():
+    assert PostingsBlock().needs_mcs_rebuild(0.5)
+
+
+def test_invalidate_noop_cases():
+    block = PostingsBlock()
+    assert block.invalidate_mcs_with(frozenset({1})) == 0
+    block.mcs_sets = []
+    assert block.invalidate_mcs_with(frozenset()) == 0
+
+
+# -- PostingsList ------------------------------------------------------------------
+
+
+def test_postings_list_blocks_split_at_capacity():
+    plist = PostingsList("w")
+    for qid in range(5):
+        plist.append(qid, block_size=2)
+    assert len(plist) == 3
+    assert [len(b) for b in plist] == [2, 2, 1]
+    assert plist.posting_count == 5
+
+
+def test_postings_list_unbounded_single_block():
+    plist = PostingsList("w")
+    for qid in range(100):
+        plist.append(qid, block_size=None)
+    assert len(plist) == 1
+
+
+def test_find_block():
+    plist = PostingsList("w")
+    for qid in (0, 2, 4, 6, 8, 10):
+        plist.append(qid, block_size=2)
+    block = plist.find_block(4)
+    assert block is not None and 4 in block.query_ids
+    assert plist.find_block(5) is None
+    assert plist.find_block(99) is None
+
+
+def test_postings_list_remove_drops_empty_blocks():
+    plist = PostingsList("w")
+    for qid in (1, 2, 3):
+        plist.append(qid, block_size=1)
+    assert plist.remove(2)
+    assert len(plist) == 2
+    assert not plist.remove(2)
+
+
+# -- QueryInvertedFile ----------------------------------------------------------------
+
+
+def test_insert_returns_touched_blocks():
+    index = QueryInvertedFile(block_size=4)
+    touched = index.insert(DasQuery(0, ["a", "b"]))
+    assert {term for term, _ in touched} == {"a", "b"}
+    assert index.term_count == 2
+    assert index.posting_count == 2
+
+
+def test_insert_and_find():
+    index = QueryInvertedFile(block_size=2)
+    for qid in range(4):
+        index.insert(DasQuery(qid, ["x"]))
+    found = list(index.blocks_for_query(DasQuery(3, ["x"])))
+    assert len(found) == 1
+    term, block = found[0]
+    assert term == "x" and 3 in block.query_ids
+    assert index.block_count == 2
+
+
+def test_remove_query():
+    index = QueryInvertedFile(block_size=4)
+    q = DasQuery(0, ["a", "b"])
+    index.insert(q)
+    index.remove(q)
+    assert index.term_count == 0
+    assert index.posting_count == 0
+    index.remove(q)  # idempotent
+
+
+def test_invalid_block_size():
+    with pytest.raises(ValueError):
+        QueryInvertedFile(block_size=0)
+
+
+def test_mcs_document_count():
+    index = QueryInvertedFile(block_size=4)
+    index.insert(DasQuery(0, ["a"]))
+    assert index.mcs_document_count() == 0

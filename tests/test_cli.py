@@ -1,0 +1,73 @@
+"""Tests for the experiments CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import FIGURES, SCALES, build_parser, main, run_figures
+
+
+def test_every_figure_key_registered():
+    expected = {
+        "fig4", "fig5", "fig6", "fig7", "tab6", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+        "abl-bound", "abl-aw",
+    }
+    assert expected <= set(FIGURES)
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in FIGURES:
+        assert key in out
+
+
+def test_run_single_figure_micro(capsys, tmp_path):
+    tables = run_figures(["fig6"], "micro", out_dir=str(tmp_path))
+    assert tables
+    assert any("Figure 6" in table for table in tables)
+    written = list(tmp_path.iterdir())
+    assert written, "table files should be written"
+
+
+def test_run_unknown_figure_exits():
+    with pytest.raises(SystemExit):
+        run_figures(["nope"], "micro")
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["run", "fig6"])
+    assert args.scale == "tiny"
+    assert args.out is None
+    assert args.figures == ["fig6"]
+
+
+def test_scales_available():
+    assert {"micro", "tiny", "small"} <= set(SCALES)
+
+
+def test_main_run_micro(capsys):
+    assert main(["run", "fig15", "--scale", "micro"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 15" in out
+
+
+def test_file_source(tmp_path):
+    from repro.stream import FileSource
+
+    path = tmp_path / "tweets.txt"
+    path.write_text(
+        "Great coffee downtown!\n"
+        "\n"
+        "a 1 2\n"  # tokenises to nothing -> skipped
+        "Storm warning tonight\n"
+    )
+    docs = FileSource(str(path), interval=2.0).take(10)
+    assert len(docs) == 2
+    assert docs[0].vector.frequency("coffee") == 1
+    assert docs[1].doc_id == 1
+    assert docs[1].created_at == 2.0
+    assert docs[0].text == "Great coffee downtown!"
+    with pytest.raises(ValueError):
+        FileSource(str(path), interval=-1.0)

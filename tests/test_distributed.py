@@ -1,0 +1,124 @@
+"""Tests for the sharded DAS engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.engine import DasEngine
+from repro.core.query import DasQuery
+from repro.distributed import ShardedDasEngine
+from repro.errors import DuplicateQueryError, UnknownQueryError
+from repro.workloads.corpus import SyntheticTweetCorpus
+from repro.workloads.queries import lqd_queries
+
+
+def small_config(**overrides):
+    defaults = dict(k=3, block_size=4)
+    defaults.update(overrides)
+    return DasEngine.for_method("GIFilter", **defaults).config
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ShardedDasEngine(0)
+    with pytest.raises(ValueError):
+        ShardedDasEngine(2, routing="random")
+
+
+def test_round_robin_assignment():
+    sharded = ShardedDasEngine(3, small_config())
+    for qid in range(6):
+        sharded.subscribe(DasQuery(qid, ["x"]))
+    assert [sharded.shard_of(q) for q in range(6)] == [0, 1, 2, 0, 1, 2]
+    assert sharded.query_count == 6
+
+
+def test_hash_assignment_is_stable():
+    sharded = ShardedDasEngine(4, small_config(), routing="hash")
+    for qid in (0, 5, 9):
+        sharded.subscribe(DasQuery(qid, ["x"]))
+        assert sharded.shard_of(qid) == qid % 4
+
+
+def test_least_loaded_balances_posting_counts():
+    sharded = ShardedDasEngine(2, small_config(), routing="least_loaded")
+    # First query has many keywords -> shard 0 becomes heavy.
+    sharded.subscribe(DasQuery(0, ["a", "b", "c", "d", "e"]))
+    sharded.subscribe(DasQuery(1, ["f"]))
+    sharded.subscribe(DasQuery(2, ["g"]))
+    assert sharded.shard_of(1) == 1
+    assert sharded.shard_of(2) == 1
+    assert sharded.imbalance() >= 1.0
+
+
+def test_duplicate_and_unknown_queries():
+    sharded = ShardedDasEngine(2, small_config())
+    sharded.subscribe(DasQuery(0, ["x"]))
+    with pytest.raises(DuplicateQueryError):
+        sharded.subscribe(DasQuery(0, ["x"]))
+    with pytest.raises(UnknownQueryError):
+        sharded.results(9)
+    sharded.unsubscribe(0)
+    with pytest.raises(UnknownQueryError):
+        sharded.unsubscribe(0)
+
+
+def test_sharded_results_match_single_engine():
+    """Sharding must not change any query's results."""
+    corpus = SyntheticTweetCorpus(vocab_size=200, n_topics=8, seed=31)
+    docs = corpus.documents(200)
+    queries = lqd_queries(corpus, 24, first_id=0)
+
+    single = DasEngine.for_method("GIFilter", k=3, block_size=4)
+    sharded = ShardedDasEngine(3, small_config())
+
+    for document in docs[:50]:
+        single.publish(document)
+        sharded.publish(document)
+    for query in queries:
+        single.subscribe(query)
+        sharded.subscribe(query)
+    for document in docs[50:]:
+        single_notes = single.publish(document)
+        sharded_notes = sharded.publish(document)
+        assert {(n.query_id, n.document.doc_id) for n in single_notes} == {
+            (n.query_id, n.document.doc_id) for n in sharded_notes
+        }
+    for query in queries:
+        assert [d.doc_id for d in single.results(query.query_id)] == [
+            d.doc_id for d in sharded.results(query.query_id)
+        ]
+        assert sharded.current_dr(query.query_id) == pytest.approx(
+            single.current_dr(query.query_id)
+        )
+
+
+def test_counters_aggregate_logical_documents():
+    sharded = ShardedDasEngine(2, small_config())
+    corpus = SyntheticTweetCorpus(vocab_size=100, n_topics=4, seed=3)
+    for document in corpus.documents(10):
+        sharded.publish(document)
+    assert sharded.counters.docs_published == 10
+
+
+def test_shard_loads_report():
+    sharded = ShardedDasEngine(2, small_config())
+    sharded.subscribe(DasQuery(0, ["a", "b"]))
+    loads = sharded.shard_loads()
+    assert len(loads) == 2
+    assert loads[0]["queries"] == 1
+    assert loads[0]["postings"] == 2
+    assert loads[1]["queries"] == 0
+
+
+def test_imbalance_on_empty_shards():
+    sharded = ShardedDasEngine(2, small_config())
+    assert sharded.imbalance() == 1.0
+
+
+def test_custom_engine_factory():
+    sharded = ShardedDasEngine(
+        2, engine_factory=lambda: DasEngine.for_method("IRT", k=2)
+    )
+    assert all(shard.method_name == "IRT" for shard in sharded.shards)

@@ -1,0 +1,125 @@
+"""Tests for the document store: ordering, lookup, pinning, eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DocumentOrderError, DuplicateDocumentError
+from repro.stream.document import Document
+from repro.stream.document_store import DocumentStore
+from tests.conftest import make_documents
+
+
+def test_add_and_get():
+    store = DocumentStore()
+    docs = make_documents([["a"], ["b"]])
+    for doc in docs:
+        store.add(doc)
+    assert store.get(0) is docs[0]
+    assert store.get(1) is docs[1]
+    assert store.get(99) is None
+    assert len(store) == 2
+    assert 0 in store and 99 not in store
+
+
+def test_rejects_duplicate_ids():
+    store = DocumentStore()
+    store.add(Document.from_tokens(5, ["a"], 0.0))
+    with pytest.raises(DuplicateDocumentError):
+        store.add(Document.from_tokens(5, ["b"], 1.0))
+
+
+def test_rejects_out_of_order_ids():
+    store = DocumentStore()
+    store.add(Document.from_tokens(5, ["a"], 0.0))
+    with pytest.raises(DocumentOrderError):
+        store.add(Document.from_tokens(4, ["b"], 1.0))
+
+
+def test_rejects_time_regression():
+    store = DocumentStore()
+    store.add(Document.from_tokens(0, ["a"], 10.0))
+    with pytest.raises(DocumentOrderError):
+        store.add(Document.from_tokens(1, ["b"], 5.0))
+
+
+def test_duplicate_id_error_is_order_error_subtype_or_distinct():
+    # Re-adding an id that exists raises DuplicateDocumentError when the
+    # store still holds it.
+    store = DocumentStore()
+    store.add(Document.from_tokens(0, ["a"], 0.0))
+    with pytest.raises((DuplicateDocumentError, DocumentOrderError)):
+        store.add(Document.from_tokens(0, ["a"], 0.0))
+
+
+def test_iteration_orders():
+    store = DocumentStore()
+    docs = make_documents([["a"], ["b"], ["c"]])
+    for doc in docs:
+        store.add(doc)
+    assert [d.doc_id for d in store] == [0, 1, 2]
+    assert [d.doc_id for d in store.newest_first()] == [2, 1, 0]
+
+
+def test_recent_matching_filters_and_orders():
+    store = DocumentStore()
+    for doc in make_documents([["x"], ["y"], ["x", "z"], ["y"], ["x"]]):
+        store.add(doc)
+    matches = store.recent_matching(["x"], limit=2)
+    assert [d.doc_id for d in matches] == [4, 2]
+    matches = store.recent_matching(["x", "y"], limit=10)
+    assert [d.doc_id for d in matches] == [4, 3, 2, 1, 0]
+    assert store.recent_matching(["missing"], limit=5) == []
+    assert store.recent_matching(["x"], limit=0) == []
+
+
+def test_eviction_drops_oldest_unpinned():
+    store = DocumentStore(capacity=3)
+    for doc in make_documents([["a"], ["b"], ["c"], ["d"]]):
+        store.add(doc)
+    assert len(store) == 3
+    assert store.get(0) is None
+    assert store.get(3) is not None
+
+
+def test_pinned_documents_survive_eviction():
+    store = DocumentStore(capacity=2)
+    docs = make_documents([["a"], ["b"], ["c"], ["d"]])
+    store.add(docs[0])
+    store.pin(0)
+    for doc in docs[1:]:
+        store.add(doc)
+    assert store.get(0) is not None  # pinned
+    assert store.get(1) is None  # evicted instead
+    assert len(store) <= 3
+
+
+def test_unpin_releases_refcount():
+    store = DocumentStore(capacity=1)
+    docs = make_documents([["a"], ["b"], ["c"]])
+    store.add(docs[0])
+    store.pin(0)
+    store.pin(0)
+    assert store.pin_count(0) == 2
+    store.unpin(0)
+    assert store.pin_count(0) == 1
+    store.unpin(0)
+    assert store.pin_count(0) == 0
+    store.add(docs[1])
+    store.add(docs[2])
+    assert store.get(0) is None
+
+
+def test_eviction_updates_term_index():
+    store = DocumentStore(capacity=1)
+    for doc in make_documents([["x"], ["x"], ["y"]]):
+        store.add(doc)
+    matches = store.recent_matching(["x"], limit=10)
+    assert matches == []  # both x-docs evicted
+    assert [d.doc_id for d in store.recent_matching(["y"], limit=10)] == [2]
+
+
+def test_unpin_unknown_is_noop():
+    store = DocumentStore()
+    store.unpin(42)  # must not raise
+    assert store.pin_count(42) == 0

@@ -1,0 +1,230 @@
+"""Behavioural tests for the DAS engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig, GroupBoundMode, UNLIMITED
+from repro.core.engine import DasEngine
+from repro.core.query import DasQuery
+from repro.errors import (
+    ConfigurationError,
+    DuplicateQueryError,
+    QueryOrderError,
+    UnknownQueryError,
+)
+from repro.stream.document import Document
+
+
+def doc(i, tokens, t=None):
+    return Document.from_tokens(i, tokens, float(i) if t is None else t)
+
+
+def make_engine(**overrides):
+    return DasEngine.for_method("GIFilter", k=3, block_size=4, **overrides)
+
+
+def test_method_configs():
+    assert DasEngine.for_method("GIFilter").method_name == "GIFilter"
+    assert DasEngine.for_method("IFilter").method_name == "IFilter"
+    assert DasEngine.for_method("BIRT").method_name == "BIRT"
+    assert DasEngine.for_method("IRT").method_name == "IRT"
+    with pytest.raises(ValueError):
+        DasEngine.for_method("nope")
+
+
+def test_group_filter_requires_blocks():
+    with pytest.raises(ConfigurationError):
+        EngineConfig(use_blocks=False, use_group_filter=True)
+
+
+def test_subscribe_empty_store_returns_no_results():
+    engine = make_engine()
+    assert engine.subscribe(DasQuery(0, ["coffee"])) == []
+    assert engine.results(0) == []
+    assert engine.query_count == 1
+
+
+def test_subscribe_initialises_from_history():
+    engine = make_engine()
+    for i in range(5):
+        engine.publish(doc(i, ["coffee", f"extra{i}"]))
+    results = engine.subscribe(DasQuery(0, ["coffee"]))
+    assert len(results) == 3
+    assert all("coffee" in d.vector for d in results)
+
+
+def test_duplicate_subscription_rejected():
+    engine = make_engine()
+    engine.subscribe(DasQuery(0, ["a"]))
+    with pytest.raises(DuplicateQueryError):
+        engine.subscribe(DasQuery(0, ["b"]))
+
+
+def test_query_ids_must_increase():
+    engine = make_engine()
+    engine.subscribe(DasQuery(5, ["a"]))
+    with pytest.raises(QueryOrderError):
+        engine.subscribe(DasQuery(3, ["b"]))
+
+
+def test_unknown_query_errors():
+    engine = make_engine()
+    with pytest.raises(UnknownQueryError):
+        engine.results(7)
+    with pytest.raises(UnknownQueryError):
+        engine.unsubscribe(7)
+
+
+def test_warmup_admits_matching_documents():
+    engine = make_engine()
+    engine.subscribe(DasQuery(0, ["coffee"]))
+    notes = engine.publish(doc(0, ["coffee"]))
+    assert len(notes) == 1
+    assert notes[0].query_id == 0
+    assert notes[0].replaced is None
+    assert not notes[0].is_replacement
+    assert [d.doc_id for d in engine.results(0)] == [0]
+
+
+def test_non_matching_document_ignored():
+    engine = make_engine()
+    engine.subscribe(DasQuery(0, ["coffee"]))
+    assert engine.publish(doc(0, ["tea"])) == []
+    assert engine.results(0) == []
+
+
+def test_empty_document_ignored():
+    engine = make_engine()
+    engine.subscribe(DasQuery(0, ["coffee"]))
+    assert engine.publish(Document(0, Document.from_tokens(0, [], 0.0).vector, 0.0)) == []
+
+
+def test_replacement_emits_notification_with_evicted():
+    engine = make_engine()
+    engine.subscribe(DasQuery(0, ["coffee"]))
+    for i in range(3):
+        engine.publish(doc(i, ["coffee", "dup"]))
+    # A fresher, more diverse coffee document should displace doc 0.
+    notes = engine.publish(doc(10, ["coffee", "beans", "roast"], t=10.0))
+    assert len(notes) == 1
+    assert notes[0].is_replacement
+    assert notes[0].replaced.doc_id == 0
+    assert 10 in [d.doc_id for d in engine.results(0)]
+
+
+def test_clock_advances_with_documents():
+    engine = make_engine()
+    engine.publish(doc(0, ["x"], t=5.0))
+    assert engine.clock.now == 5.0
+    engine.publish(doc(1, ["x"], t=5.0))  # same time fine
+    assert engine.clock.now == 5.0
+
+
+def test_unsubscribe_releases_everything():
+    engine = make_engine()
+    for i in range(3):
+        engine.publish(doc(i, ["coffee"]))
+    engine.subscribe(DasQuery(0, ["coffee"]))
+    assert engine.store.pin_count(2) == 1
+    engine.unsubscribe(0)
+    assert engine.query_count == 0
+    assert engine.store.pin_count(2) == 0
+    # publishing continues without errors
+    engine.publish(doc(10, ["coffee"], t=10.0))
+
+
+def test_results_are_pinned_against_eviction():
+    engine = DasEngine.for_method("GIFilter", k=2, store_capacity=3)
+    engine.subscribe(DasQuery(0, ["keep"]))
+    engine.publish(doc(0, ["keep"]))
+    engine.publish(doc(1, ["keep"]))
+    for i in range(2, 8):
+        engine.publish(doc(i, ["filler"]))
+    for document in engine.results(0):
+        assert engine.store.get(document.doc_id) is not None
+
+
+def test_current_dr_nonnegative_and_consistent():
+    engine = make_engine()
+    for i in range(4):
+        engine.publish(doc(i, ["coffee", f"x{i}"]))
+    engine.subscribe(DasQuery(0, ["coffee"]))
+    value = engine.current_dr(0)
+    assert value > 0.0
+
+
+def test_index_size_report_counts():
+    engine = make_engine()
+    for i in range(4):
+        engine.publish(doc(i, ["coffee"]))
+    engine.subscribe(DasQuery(0, ["coffee", "beans"]))
+    report = engine.index_size_report()
+    assert report["postings"] == 2
+    assert report["result_entries"] == 3
+    assert report["stored_documents"] == 4
+    assert report["approx_bytes"] > 0
+
+
+def test_counters_track_work():
+    engine = make_engine()
+    engine.subscribe(DasQuery(0, ["coffee"]))
+    engine.publish(doc(0, ["coffee"]))
+    c = engine.counters
+    assert c.docs_published == 1
+    assert c.queries_subscribed == 1
+    assert c.queries_evaluated == 1
+    assert c.matches == 1
+
+
+def test_many_queries_multiple_blocks():
+    engine = DasEngine.for_method("GIFilter", k=2, block_size=2)
+    for i in range(10):
+        engine.publish(doc(i, ["shared", f"only{i}"]))
+    for qid in range(7):
+        engine.subscribe(DasQuery(qid, ["shared"]))
+    notes = engine.publish(doc(50, ["shared", "fresh"], t=50.0))
+    # every query sees the same stream; with identical states they all
+    # either accept or reject together.
+    assert len({n.query_id for n in notes}) == len(notes)
+    index = engine.index_size_report()
+    assert index["blocks"] >= 4
+
+
+def test_paper_bound_mode_runs():
+    engine = DasEngine.for_method(
+        "GIFilter", k=2, block_size=2, group_bound_mode=GroupBoundMode.PAPER
+    )
+    for i in range(6):
+        engine.publish(doc(i, ["shared"]))
+    for qid in range(4):
+        engine.subscribe(DasQuery(qid, ["shared"]))
+    engine.publish(doc(50, ["shared"], t=50.0))
+    assert engine.counters.group_checks >= 1
+
+
+def test_phi_max_zero_pushes_everything_to_r2():
+    engine = DasEngine.for_method("IFilter", k=3, phi_max=0)
+    engine.subscribe(DasQuery(0, ["coffee"]))
+    for i in range(5):
+        engine.publish(doc(i, ["coffee", f"v{i}"]))
+    rs = engine._result_sets[0]
+    assert all(not entry.aw_resident for entry in rs.entries)
+    assert rs.aw_entry_count == 0
+
+
+def test_greedy_init_strategy():
+    engine = DasEngine(
+        DasEngine.for_method("GIFilter", k=2).config, init_strategy="greedy"
+    )
+    for i in range(8):
+        engine.publish(doc(i, ["coffee", f"y{i}"]))
+    results = engine.subscribe(DasQuery(0, ["coffee"]))
+    assert len(results) == 2
+
+
+def test_bad_init_strategy_rejected():
+    engine = DasEngine(init_strategy="nonsense")
+    engine.publish(doc(0, ["coffee"]))
+    with pytest.raises(ValueError):
+        engine.subscribe(DasQuery(0, ["coffee"]))

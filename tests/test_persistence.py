@@ -1,0 +1,110 @@
+"""Tests for checkpoint/restore: behavioural equivalence after a round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import DasEngine
+from repro.persistence import CHECKPOINT_VERSION, checkpoint, load, restore, save
+from repro.workloads.corpus import SyntheticTweetCorpus
+from repro.workloads.queries import lqd_queries
+
+
+@pytest.fixture
+def live_engine():
+    corpus = SyntheticTweetCorpus(vocab_size=150, n_topics=6, seed=12)
+    engine = DasEngine.for_method("GIFilter", k=3, block_size=4)
+    docs = corpus.documents(120)
+    for document in docs[:60]:
+        engine.publish(document)
+    for query in lqd_queries(corpus, 15, first_id=0):
+        engine.subscribe(query)
+    for document in docs[60:90]:
+        engine.publish(document)
+    return engine, corpus, docs
+
+
+def test_checkpoint_is_json_safe(live_engine):
+    import json
+
+    engine, _corpus, _docs = live_engine
+    payload = checkpoint(engine)
+    text = json.dumps(payload)
+    assert json.loads(text)["version"] == CHECKPOINT_VERSION
+
+
+def test_restore_preserves_observable_state(live_engine):
+    engine, _corpus, _docs = live_engine
+    clone = restore(checkpoint(engine))
+    assert clone.clock.now == engine.clock.now
+    assert clone.query_count == engine.query_count
+    assert clone.stats.total_tokens == engine.stats.total_tokens
+    assert len(clone.store) == len(engine.store)
+    for query_id in engine._queries:
+        assert [d.doc_id for d in clone.results(query_id)] == [
+            d.doc_id for d in engine.results(query_id)
+        ]
+        assert clone.current_dr(query_id) == pytest.approx(
+            engine.current_dr(query_id)
+        )
+
+
+def test_restore_preserves_future_behaviour(live_engine):
+    """The restored engine must make identical decisions from here on."""
+    engine, _corpus, docs = live_engine
+    clone = restore(checkpoint(engine))
+    for document in docs[90:]:
+        original_notes = engine.publish(document)
+        clone_notes = clone.publish(document)
+        assert [(n.query_id, n.document.doc_id) for n in original_notes] == [
+            (n.query_id, n.document.doc_id) for n in clone_notes
+        ]
+    for query_id in engine._queries:
+        assert [d.doc_id for d in clone.results(query_id)] == [
+            d.doc_id for d in engine.results(query_id)
+        ]
+
+
+def test_restore_preserves_subscription_order_constraint(live_engine):
+    engine, corpus, _docs = live_engine
+    clone = restore(checkpoint(engine))
+    # New subscriptions still work and must carry larger ids.
+    new_query = lqd_queries(corpus, 1, first_id=10_000)[0]
+    clone.subscribe(new_query)
+    assert clone.query_count == engine.query_count + 1
+
+
+def test_save_load_file_roundtrip(live_engine, tmp_path):
+    engine, _corpus, _docs = live_engine
+    path = tmp_path / "engine.json"
+    save(engine, str(path))
+    clone = load(str(path))
+    for query_id in engine._queries:
+        assert [d.doc_id for d in clone.results(query_id)] == [
+            d.doc_id for d in engine.results(query_id)
+        ]
+
+
+def test_restore_rejects_bad_version():
+    with pytest.raises(ValueError):
+        restore({"version": 999})
+
+
+def test_restore_rejects_missing_document(live_engine):
+    engine, _corpus, _docs = live_engine
+    payload = checkpoint(engine)
+    payload["documents"] = payload["documents"][:1]
+    if payload["queries"] and payload["queries"][0]["results"]:
+        with pytest.raises(ValueError):
+            restore(payload)
+
+
+def test_budget_accounting_restored():
+    corpus = SyntheticTweetCorpus(vocab_size=100, n_topics=4, seed=8)
+    engine = DasEngine.for_method("GIFilter", k=3, phi_max=40)
+    for document in corpus.documents(60):
+        engine.publish(document)
+    for query in lqd_queries(corpus, 8, first_id=0):
+        engine.subscribe(query)
+    clone = restore(checkpoint(engine))
+    assert clone._budget.used == engine._budget.used

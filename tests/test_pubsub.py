@@ -1,0 +1,151 @@
+"""Tests for the delivery layer (service, subscriptions, mailboxes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import DasEngine
+from repro.core.events import Notification
+from repro.errors import UnknownQueryError
+from repro.pubsub import Mailbox, PublishSubscribeService
+from repro.stream.document import Document
+
+
+def doc(i, tokens, t=None):
+    return Document.from_tokens(i, tokens, float(i) if t is None else t)
+
+
+# -- Mailbox ------------------------------------------------------------------
+
+
+def _note(i):
+    return Notification(0, Document.from_tokens(i, ["x"], float(i)), None)
+
+
+def test_mailbox_push_drain_order():
+    mailbox = Mailbox(capacity=4)
+    for i in range(3):
+        mailbox.push(_note(i))
+    assert len(mailbox) == 3
+    drained = mailbox.drain()
+    assert [n.document.doc_id for n in drained] == [0, 1, 2]
+    assert len(mailbox) == 0
+    assert mailbox.drain() == []
+
+
+def test_mailbox_drops_oldest_on_overflow():
+    mailbox = Mailbox(capacity=2)
+    for i in range(5):
+        mailbox.push(_note(i))
+    assert mailbox.dropped == 3
+    assert [n.document.doc_id for n in mailbox.drain()] == [3, 4]
+
+
+def test_mailbox_capacity_validated():
+    with pytest.raises(ValueError):
+        Mailbox(capacity=0)
+
+
+# -- Service ------------------------------------------------------------------
+
+
+def make_service():
+    return PublishSubscribeService(DasEngine.for_method("GIFilter", k=2))
+
+
+def test_subscribe_with_callback_receives_pushes():
+    service = make_service()
+    received = []
+    subscription = service.subscribe("coffee", callback=received.append)
+    service.publish(doc(0, ["coffee"]))
+    service.publish(doc(1, ["tea"]))
+    assert len(received) == 1
+    assert received[0].document.doc_id == 0
+    assert subscription.delivered == 1
+
+
+def test_subscribe_with_mailbox_pull_delivery():
+    service = make_service()
+    subscription = service.subscribe(["storm"], mailbox_capacity=8)
+    service.publish(doc(0, ["storm"]))
+    service.publish(doc(1, ["storm", "coast"]))
+    pending = subscription.mailbox.drain()
+    assert [n.document.doc_id for n in pending] == [0, 1]
+
+
+def test_initial_results_delivered_as_warmup():
+    service = make_service()
+    service.publish(doc(0, ["news"]))
+    service.publish(doc(1, ["news"]))
+    received = []
+    service.subscribe("news", callback=received.append)
+    assert [n.document.doc_id for n in received] == [0, 1]
+    assert all(not n.is_replacement for n in received)
+
+
+def test_auto_assigned_query_ids_increase():
+    service = make_service()
+    a = service.subscribe("one")
+    b = service.subscribe("two")
+    assert b.query_id > a.query_id
+
+
+def test_cancel_stops_delivery():
+    service = make_service()
+    received = []
+    subscription = service.subscribe("coffee", callback=received.append)
+    subscription.cancel()
+    assert not subscription.active
+    service.publish(doc(0, ["coffee"]))
+    assert received == []
+    assert service.subscription_count == 0
+    subscription.cancel()  # idempotent
+
+
+def test_unsubscribe_unknown_raises():
+    service = make_service()
+    with pytest.raises(UnknownQueryError):
+        service.unsubscribe(99)
+
+
+def test_failing_callback_is_isolated():
+    service = make_service()
+
+    def explode(_note):
+        raise RuntimeError("subscriber bug")
+
+    subscription = service.subscribe("coffee", callback=explode)
+    notes = service.publish(doc(0, ["coffee"]))
+    assert len(notes) == 1  # publish path unaffected
+    assert subscription.callback_errors == 1
+    assert subscription.delivered == 1
+
+
+def test_subscription_results_accessor():
+    service = make_service()
+    subscription = service.subscribe("coffee")
+    service.publish(doc(0, ["coffee"]))
+    assert [d.doc_id for d in subscription.results()] == [0]
+
+
+def test_publish_text_assigns_ids_and_time():
+    service = make_service()
+    subscription = service.subscribe("coffee", mailbox_capacity=4)
+    service.publish_text("great coffee here", created_at=1.0)
+    service.publish_text("more coffee talk", created_at=2.0)
+    ids = [d.doc_id for d in subscription.results()]
+    assert ids == [1, 0]
+    assert service.engine.clock.now == 2.0
+
+
+def test_default_engine_constructed():
+    service = PublishSubscribeService()
+    assert service.engine.method_name == "GIFilter"
+
+
+def test_repr():
+    service = make_service()
+    subscription = service.subscribe("xray")
+    assert "active" in repr(subscription)
+    subscription.cancel()
+    assert "cancelled" in repr(subscription)

@@ -1,0 +1,48 @@
+"""Tests for DasQuery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import DasQuery
+from repro.errors import EmptyQueryError
+
+
+def test_terms_deduplicated_and_sorted():
+    query = DasQuery(1, ["b", "a", "b"])
+    assert query.terms == ("a", "b")
+
+
+def test_empty_keywords_rejected():
+    with pytest.raises(EmptyQueryError):
+        DasQuery(1, [])
+    with pytest.raises(EmptyQueryError):
+        DasQuery(1, [""])
+
+
+def test_matches_any_keyword():
+    query = DasQuery(1, ["coffee", "tea"])
+    assert query.matches(["tea", "cup"])
+    assert query.matches(["coffee"])
+    assert not query.matches(["juice"])
+    assert not query.matches([])
+
+
+def test_from_text_tokenises():
+    query = DasQuery.from_text(7, "The Coffee Shop!")
+    assert query.query_id == 7
+    assert query.terms == ("coffee", "shop")
+
+
+def test_equality_and_hash():
+    a = DasQuery(1, ["x", "y"])
+    b = DasQuery(1, ["y", "x"])
+    c = DasQuery(2, ["x", "y"])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+    assert a != "not a query"
+
+
+def test_repr():
+    assert "coffee" in repr(DasQuery(0, ["coffee"]))

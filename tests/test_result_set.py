@@ -1,0 +1,208 @@
+"""Tests for the query result table (Table 3) and its maintenance."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agg_weights import MemoryBudget
+from repro.core.result_set import QueryResultSet
+from repro.scoring.recency import ExponentialDecay
+from repro.stream.document import Document
+from repro.text.vectors import TermVector, cosine_similarity
+
+
+def doc(i, tokens):
+    return Document.from_tokens(i, tokens, float(i))
+
+
+def admit(rs, document, trel=0.1):
+    sims = rs.similarities_to(document.vector)
+    rs.admit(document, trel, sims)
+
+
+def test_admit_fills_in_order():
+    rs = QueryResultSet(k=3)
+    for i in range(3):
+        admit(rs, doc(i, ["a"]))
+    assert rs.is_full
+    assert [d.doc_id for d in rs.documents()] == [0, 1, 2]
+    assert [d.doc_id for d in rs.documents_newest_first()] == [2, 1, 0]
+    assert rs.oldest.document.doc_id == 0
+    assert 1 in rs and 9 not in rs
+
+
+def test_admit_beyond_k_raises():
+    rs = QueryResultSet(k=1)
+    admit(rs, doc(0, ["a"]))
+    with pytest.raises(ValueError):
+        admit(rs, doc(1, ["a"]))
+
+
+def test_admit_wrong_sims_length():
+    rs = QueryResultSet(k=3)
+    admit(rs, doc(0, ["a"]))
+    with pytest.raises(ValueError):
+        rs.admit(doc(1, ["a"]), 0.1, [])  # needs 1 similarity
+
+
+def test_sim_acc_tracks_newer_documents():
+    rs = QueryResultSet(k=3)
+    a, b, c = doc(0, ["x"]), doc(1, ["x", "y"]), doc(2, ["y"])
+    for d in (a, b, c):
+        admit(rs, d)
+    sim_ab = cosine_similarity(a.vector, b.vector)
+    sim_ac = cosine_similarity(a.vector, c.vector)
+    sim_bc = cosine_similarity(b.vector, c.vector)
+    entries = rs.entries
+    assert entries[0].sim_acc == pytest.approx(sim_ab + sim_ac)
+    assert entries[1].sim_acc == pytest.approx(sim_bc)
+    assert entries[2].sim_acc == 0.0
+
+
+def test_replace_evicts_oldest_and_updates_sim_acc():
+    rs = QueryResultSet(k=2)
+    a, b, c = doc(0, ["x"]), doc(1, ["x"]), doc(2, ["x"])
+    admit(rs, a)
+    admit(rs, b)
+    sims = [cosine_similarity(c.vector, b.vector)]
+    evicted = rs.replace(c, 0.2, sims)
+    assert evicted is a
+    assert [d.doc_id for d in rs.documents()] == [1, 2]
+    # sim_acc counts *newer* co-residents only: b's sim to c, not to the
+    # evicted (older) a.
+    assert rs.entries[0].sim_acc == pytest.approx(1.0)
+
+
+def test_replace_empty_raises():
+    rs = QueryResultSet(k=2)
+    with pytest.raises(ValueError):
+        rs.replace(doc(0, ["a"]), 0.1, [])
+
+
+def test_replace_wrong_sims_length():
+    rs = QueryResultSet(k=2)
+    admit(rs, doc(0, ["a"]))
+    admit(rs, doc(1, ["a"]))
+    with pytest.raises(ValueError):
+        rs.replace(doc(2, ["a"]), 0.1, [])
+
+
+def test_dr_oldest_closed_form():
+    rs = QueryResultSet(k=3)
+    decay = ExponentialDecay(2.0)
+    for i, tokens in enumerate((["x"], ["x", "y"], ["z"])):
+        admit(rs, doc(i, tokens), trel=0.5)
+    alpha = 0.4
+    now = 2.0
+    value = rs.dr_oldest(now, decay, alpha)
+    entry = rs.oldest
+    coeff = (2 - 2 * alpha) / 2
+    expected = alpha * 0.5 * decay.at(0.0, now) + coeff * (2 - entry.sim_acc)
+    assert value == pytest.approx(expected)
+
+
+def test_static_dr_oldest_is_time_free():
+    rs = QueryResultSet(k=2)
+    admit(rs, doc(0, ["x"]), trel=0.3)
+    admit(rs, doc(1, ["y"]), trel=0.2)
+    alpha = 0.3
+    static = rs.static_dr_oldest(alpha)
+    # equals dr_oldest with no decay (T = 1)
+    from repro.scoring.recency import NO_DECAY
+
+    assert static == pytest.approx(rs.dr_oldest(100.0, NO_DECAY, alpha))
+
+
+def test_similarity_sum_excludes_oldest():
+    rs = QueryResultSet(k=3, track_aggregated_weights=False)
+    for i in range(3):
+        admit(rs, doc(i, ["x"]))
+    probe = TermVector({"x": 1})
+    total, direct, aw_used = rs.similarity_sum(probe)
+    assert total == pytest.approx(2.0)  # entries 1 and 2 only
+    assert direct == 2
+    assert aw_used == 0
+
+
+def test_similarity_sum_with_aw_matches_direct():
+    rs_aw = QueryResultSet(k=4, track_aggregated_weights=True)
+    rs_plain = QueryResultSet(k=4, track_aggregated_weights=False)
+    docs = [doc(i, tokens) for i, tokens in enumerate(
+        (["x"], ["x", "y"], ["y", "z"], ["z"]))]
+    for d in docs:
+        admit(rs_aw, d)
+        admit(rs_plain, d)
+    probe = TermVector({"x": 2, "z": 1})
+    total_aw, _, used = rs_aw.similarity_sum(probe)
+    total_plain, _, _ = rs_plain.similarity_sum(probe)
+    assert used == 1
+    assert total_aw == pytest.approx(total_plain, abs=1e-9)
+
+
+def test_budget_splits_r1_r2():
+    budget = MemoryBudget(3)  # room for ~1 document of 2-3 terms
+    rs = QueryResultSet(k=4, budget=budget)
+    admit(rs, doc(0, ["a", "b"]))  # oldest: never reserves
+    admit(rs, doc(1, ["c", "d"]))  # fits (2 entries)
+    admit(rs, doc(2, ["e", "f"]))  # does not fit -> R2
+    entries = rs.entries
+    assert not entries[0].aw_resident
+    assert entries[1].aw_resident and entries[1].in_r1
+    assert not entries[2].aw_resident and not entries[2].in_r1
+    assert budget.used == 2
+
+
+def test_replace_releases_budget_of_new_oldest():
+    budget = MemoryBudget(10)
+    rs = QueryResultSet(k=2, budget=budget)
+    admit(rs, doc(0, ["a"]))
+    admit(rs, doc(1, ["b", "c"]))  # reserves 2
+    assert budget.used == 2
+    rs.replace(doc(2, ["d"]), 0.1, rs.similarities_to(TermVector({"d": 1}))[1:])
+    # doc 1 became the oldest: its 2 entries are released; doc 2 reserved 1.
+    assert budget.used == 1
+    assert not rs.entries[0].aw_resident
+
+
+def test_release_budget_on_teardown():
+    budget = MemoryBudget(10)
+    rs = QueryResultSet(k=3, budget=budget)
+    for i in range(3):
+        admit(rs, doc(i, ["t%d" % i, "u"]))
+    assert budget.used > 0
+    rs.release_budget()
+    assert budget.used == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.sampled_from("abcd"), min_size=1, max_size=5),
+        min_size=3,
+        max_size=10,
+    )
+)
+def test_sim_acc_invariant_under_churn(token_lists):
+    """After any admit/replace sequence, each entry's sim_acc equals the
+    sum of its similarities to strictly newer co-resident documents."""
+    k = 3
+    rs = QueryResultSet(k=k)
+    for i, tokens in enumerate(token_lists):
+        document = doc(i, tokens)
+        if not rs.is_full:
+            admit(rs, document)
+        else:
+            sims = [
+                cosine_similarity(document.vector, entry.document.vector)
+                for entry in rs.entries[1:]
+            ]
+            rs.replace(document, 0.1, sims)
+    documents = rs.documents()
+    for index, entry in enumerate(rs.entries):
+        expected = sum(
+            cosine_similarity(entry.document.vector, other.vector)
+            for other in documents[index + 1 :]
+        )
+        assert entry.sim_acc == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,66 @@
+"""Tests for the tokenizer and stop-word handling."""
+
+from __future__ import annotations
+
+from repro.text.tokenizer import DEFAULT_TOKENIZER, Tokenizer, tokenize
+
+
+def test_lowercases_and_splits():
+    assert tokenize("Coffee Espresso") == ["coffee", "espresso"]
+
+
+def test_strips_punctuation():
+    assert tokenize("coffee, espresso!") == ["coffee", "espresso"]
+
+
+def test_keeps_hashtags_and_mentions():
+    tokens = tokenize("#coffee with @barista downtown")
+    assert "#coffee" in tokens
+    assert "@barista" in tokens
+    assert "downtown" in tokens
+
+
+def test_removes_stopwords():
+    assert tokenize("the coffee is on a table") == ["coffee", "table"]
+
+
+def test_removes_urls():
+    assert tokenize("great read https://example.com/a?b=1 wow") == [
+        "great",
+        "read",
+        "wow",
+    ]
+
+
+def test_removes_short_and_numeric_tokens():
+    assert tokenize("a x 42 2020 ok") == ["ok"]
+
+
+def test_min_length_configurable():
+    tok = Tokenizer(stopwords=(), min_length=1)
+    assert tok.tokenize("x y") == ["x", "y"]
+
+
+def test_custom_stopwords():
+    tok = Tokenizer(stopwords=["coffee"])
+    assert tok.tokenize("coffee espresso") == ["espresso"]
+    assert "coffee" in tok.stopwords
+
+
+def test_keep_urls_mode():
+    tok = Tokenizer(strip_urls=False)
+    tokens = tok.tokenize("see www.example.com now")
+    assert "example" in " ".join(tokens)
+
+
+def test_callable_interface():
+    assert DEFAULT_TOKENIZER("espresso time") == ["espresso", "time"]
+
+
+def test_empty_input():
+    assert tokenize("") == []
+    assert tokenize("   \n\t ") == []
+
+
+def test_rt_is_stopword():
+    assert tokenize("RT great news") == ["great", "news"]

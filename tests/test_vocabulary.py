@@ -1,0 +1,38 @@
+"""Tests for the term <-> id vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.vocabulary import Vocabulary
+
+
+def test_add_assigns_dense_ids():
+    vocab = Vocabulary()
+    assert vocab.add("a") == 0
+    assert vocab.add("b") == 1
+    assert vocab.add("a") == 0
+    assert len(vocab) == 2
+
+
+def test_lookup_both_directions():
+    vocab = Vocabulary(["x", "y"])
+    assert vocab.id_of("x") == 0
+    assert vocab.term_of(1) == "y"
+    assert vocab.id_of("missing") is None
+    with pytest.raises(IndexError):
+        vocab.term_of(5)
+
+
+def test_contains_and_iter():
+    vocab = Vocabulary(["a", "b"])
+    assert "a" in vocab
+    assert "c" not in vocab
+    assert list(vocab) == ["a", "b"]
+
+
+def test_encode_decode_roundtrip():
+    vocab = Vocabulary()
+    ids = vocab.encode(["c", "a", "c", "b"])
+    assert ids == [0, 1, 0, 2]
+    assert vocab.decode(ids) == ["c", "a", "c", "b"]
