@@ -1,0 +1,176 @@
+"""Publish-path throughput per method × kernel backend (ISSUE: perf PR).
+
+Drives each DAS method through the standard ``BENCH_SPEC`` workload
+(history replay, subscription, settle) and then times the measured
+stream segment with ``time.process_time`` — wall-clock on shared CI-class
+hardware is far too noisy (±40-50 % run-to-run observed).  Each variant
+gets one warm-up round plus ``MEASURE_ROUNDS`` timed rounds of fresh
+stream documents; the best round is reported, which filters page-fault /
+allocator-warm-up noise without hiding steady-state cost.
+
+Artifacts:
+
+* ``benchmarks/out/throughput.txt`` — human-readable table;
+* ``BENCH_throughput.json`` at the repo root — machine-readable, so
+  future PRs can track the performance trajectory.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import platform
+import time
+
+from benchmarks.common import BENCH_SPEC, write_output
+from repro.experiments.workload import build_workload
+from repro.kernels import numpy_available
+
+#: Timed rounds per variant (after one untimed warm-up round).
+MEASURE_ROUNDS = 2
+#: Micro-batch size for the ``publish_batch`` variants.
+BATCH_SIZE = 64
+
+METHODS = ("GIFilter", "IFilter", "BIRT", "IRT")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_throughput.json")
+
+
+def _round_segments(workload):
+    """Warm-up segment plus MEASURE_ROUNDS fresh 150-doc segments."""
+    spec = workload.spec
+    segments = [workload.measure]
+    next_id = spec.n_history + spec.n_settle + spec.n_measure
+    for _ in range(MEASURE_ROUNDS):
+        segments.append(
+            workload.corpus.documents(
+                spec.n_measure, first_id=next_id, start_time=float(next_id)
+            )
+        )
+        next_id += spec.n_measure
+    return segments
+
+
+def _build_engine(workload, method, backend):
+    engine = workload.make_engine(method)
+    engine = type(engine)(engine.config.evolve(backend=backend))
+    for document in workload.history:
+        engine.publish(document)
+    for query in workload.queries:
+        engine.subscribe(query)
+    for document in workload.settle:
+        engine.publish(document)
+    return engine
+
+
+def _timed_rounds(engine, segments, batched):
+    """Publish every segment; returns docs/sec of the timed rounds."""
+    rates = []
+    for index, segment in enumerate(segments):
+        gc.collect()
+        start = time.process_time()
+        if batched:
+            for offset in range(0, len(segment), BATCH_SIZE):
+                engine.publish_batch(segment[offset : offset + BATCH_SIZE])
+        else:
+            for document in segment:
+                engine.publish(document)
+        elapsed = time.process_time() - start
+        if index == 0:
+            continue  # warm-up round
+        rates.append(len(segment) / elapsed if elapsed > 0 else 0.0)
+    return rates
+
+
+def run_throughput_suite():
+    workload = build_workload(BENCH_SPEC)
+    segments = _round_segments(workload)
+    backends = ["python"] + (["numpy"] if numpy_available() else [])
+    results = {}
+    for method in METHODS:
+        results[method] = {}
+        for backend in backends:
+            variants = [(backend, False)]
+            if method == "GIFilter":
+                variants.append((f"{backend}_batch", True))
+            for label, batched in variants:
+                engine = _build_engine(workload, method, backend)
+                rates = _timed_rounds(engine, segments, batched)
+                results[method][label] = {
+                    "docs_per_sec": max(rates),
+                    "rounds": [round(rate, 1) for rate in rates],
+                }
+    return results
+
+
+def format_table(results):
+    lines = [
+        "Publish throughput (docs/sec, best of "
+        f"{MEASURE_ROUNDS} process_time rounds, {BENCH_SPEC.n_queries} "
+        f"queries, k={BENCH_SPEC.k})",
+        f"{'method':<10} {'variant':<14} {'docs/sec':>10}  rounds",
+    ]
+    for method, variants in results.items():
+        for label, record in variants.items():
+            rounds = ", ".join(f"{rate:.1f}" for rate in record["rounds"])
+            lines.append(
+                f"{method:<10} {label:<14} "
+                f"{record['docs_per_sec']:>10.1f}  [{rounds}]"
+            )
+    return "\n".join(lines)
+
+
+def test_publish_throughput():
+    results = run_throughput_suite()
+    # Structural validity only: every variant produced a positive rate.
+    # Relative orderings are recorded in EXPERIMENTS.md, not asserted —
+    # shared-hardware timings are too noisy for hard thresholds.
+    for method in METHODS:
+        assert results[method], method
+        for label, record in results[method].items():
+            assert record["docs_per_sec"] > 0.0, (method, label)
+
+    gifilter = results["GIFilter"]
+    speedup = None
+    if "numpy" in gifilter:
+        speedup = (
+            gifilter["numpy"]["docs_per_sec"]
+            / gifilter["python"]["docs_per_sec"]
+        )
+    payload = {
+        "benchmark": "publish_throughput",
+        "spec": {
+            "n_queries": BENCH_SPEC.n_queries,
+            "n_history": BENCH_SPEC.n_history,
+            "n_settle": BENCH_SPEC.n_settle,
+            "n_measure": BENCH_SPEC.n_measure,
+            "k": BENCH_SPEC.k,
+            "block_size": BENCH_SPEC.block_size,
+            "measure_rounds": MEASURE_ROUNDS,
+            "batch_size": BATCH_SIZE,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy_available": numpy_available(),
+            "timer": "process_time",
+        },
+        "results": {
+            method: {
+                label: record["docs_per_sec"]
+                for label, record in variants.items()
+            }
+            for method, variants in results.items()
+        },
+        "gifilter_numpy_vs_python_speedup": speedup,
+    }
+    with open(JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    write_output("throughput", format_table(results))
+
+
+if __name__ == "__main__":
+    test_publish_throughput()

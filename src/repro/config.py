@@ -65,6 +65,10 @@ class EngineConfig:
     phi_max: int = UNLIMITED
     #: Group bound mode, see :class:`GroupBoundMode`.
     group_bound_mode: GroupBoundMode = GroupBoundMode.STRICT
+    #: Scoring kernel backend: ``"auto"`` uses NumPy when importable and
+    #: falls back to pure Python; ``"python"`` / ``"numpy"`` force one.
+    #: Backends are decision-equivalent (see ``repro/kernels``).
+    backend: str = "auto"
 
     # --- Method switches (GIFilter = all True; see DESIGN.md §3) ---
     #: Partition postings lists into blocks and skip whole blocks
@@ -121,6 +125,11 @@ class EngineConfig:
             raise ConfigurationError(
                 "group filtering requires the block-based inverted file "
                 "(use_blocks=True)"
+            )
+        if self.backend not in ("auto", "python", "numpy"):
+            raise ConfigurationError(
+                f"backend must be 'auto', 'python' or 'numpy', "
+                f"got {self.backend!r}"
             )
 
     def with_decay_scale(self, scale: float, horizon: float) -> "EngineConfig":

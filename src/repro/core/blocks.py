@@ -48,6 +48,7 @@ class PostingsBlock:
         "mcs_initial_count",
         "universe_min_tf",
         "universe_max_norm",
+        "covers_cache",
     )
 
     def __init__(self) -> None:
@@ -67,6 +68,9 @@ class PostingsBlock:
         self.mcs_initial_count: int = 0
         self.universe_min_tf: int = 0
         self.universe_max_norm: float = 0.0
+        #: Kernel-backend packed form of ``mcs_sets``, keyed by the cover
+        #: list's identity (see ``filtering.block_similarity_lower_bound``).
+        self.covers_cache: Optional[tuple] = None
 
     # -- postings ------------------------------------------------------------
 
@@ -110,6 +114,7 @@ class PostingsBlock:
         self,
         result_sets: Dict[int, QueryResultSet],
         alpha: float,
+        coeff: Optional[float] = None,
     ) -> None:
         """Recompute components (2)-(4) from per-query O(1) summaries.
 
@@ -117,6 +122,8 @@ class PostingsBlock:
         :attr:`unfilled_ids`; the threshold summaries cover the *filled*
         members only, so a group skip remains valid for them while the
         unfilled members are evaluated individually by the engine.
+        ``coeff`` optionally carries the precomputed diversity
+        coefficient through to the per-member summaries.
         """
         dtrel_min = float("inf")
         trel_max = 0.0
@@ -127,7 +134,7 @@ class PostingsBlock:
             if not result_set.is_full:
                 unfilled.append(query_id)
                 continue
-            static = result_set.static_dr_oldest(alpha)
+            static = result_set.static_dr_oldest(alpha, coeff)
             if static < dtrel_min:
                 dtrel_min = static
             oldest = result_set.oldest
@@ -193,9 +200,14 @@ class PostingsBlock:
         if not self.mcs_sets or not doc_ids:
             return 0
         before = len(self.mcs_sets)
-        self.mcs_sets = [
+        surviving = [
             cover
             for cover in self.mcs_sets
             if doc_ids.isdisjoint(cover.doc_ids)
         ]
-        return before - len(self.mcs_sets)
+        if len(surviving) == before:
+            # Unchanged: keep the existing list object so packed-cover
+            # caches keyed by its identity stay valid.
+            return 0
+        self.mcs_sets = surviving
+        return before - len(surviving)

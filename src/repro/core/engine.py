@@ -22,7 +22,8 @@ aggregated term weight summaries (Lemma 6) where enabled.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+import heapq
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.config import METHOD_CONFIGS, EngineConfig
 from repro.core.agg_weights import MemoryBudget
@@ -45,19 +46,15 @@ from repro.errors import (
     QueryOrderError,
     UnknownQueryError,
 )
+from repro.kernels import resolve_backend
 from repro.metrics.instrumentation import Counters
 from repro.scoring.diversity import diversity_coefficient, dr_score
-from repro.scoring.recency import ExponentialDecay
+from repro.scoring.recency import CachedDecay, ExponentialDecay
 from repro.scoring.relevance import LanguageModelScorer
 from repro.stream.clock import SimulationClock
 from repro.stream.document import Document
 from repro.stream.document_store import DocumentStore
 from repro.text.collection_stats import CollectionStatistics
-from repro.text.vectors import cosine_similarity
-
-_SENTINEL_QID = float("inf")
-
-
 class DasEngine:
     """Continuous top-k diversity-aware publish/subscribe."""
 
@@ -77,6 +74,14 @@ class DasEngine:
             self._stats, self._config.smoothing_lambda
         )
         self._decay = ExponentialDecay(self._config.decay_base)
+        #: Per-publish memo of decay powers (cleared at each publish; the
+        #: same handful of age gaps recurs across all evaluated queries).
+        self._decay_cache = CachedDecay(self._decay)
+        #: Loop-invariant ``(2-2α)/(k-1)`` of Eqs. 12/19/25.
+        self._coeff = diversity_coefficient(
+            self._config.alpha, self._config.k
+        )
+        self._kernels = resolve_backend(self._config.backend)
         self._store = (
             store
             if store is not None
@@ -143,6 +148,16 @@ class DasEngine:
     @property
     def decay(self) -> ExponentialDecay:
         return self._decay
+
+    @property
+    def kernels(self):
+        """The scoring kernel backend selected at construction."""
+        return self._kernels
+
+    @property
+    def backend_name(self) -> str:
+        """Resolved backend: ``"python"`` or ``"numpy"``."""
+        return self._kernels.name
 
     @property
     def query_count(self) -> int:
@@ -227,6 +242,7 @@ class DasEngine:
             self._config.k,
             budget=self._budget,
             track_aggregated_weights=self._config.use_agg_weights,
+            kernels=self._kernels,
         )
         seeds = select_initial_documents(
             self._store,
@@ -285,6 +301,42 @@ class DasEngine:
 
     def publish(self, document: Document) -> List[Notification]:
         """Process one stream document; returns the triggered updates."""
+        self._decay_cache.clear()
+        return self._publish_one(document, {})
+
+    def publish_batch(
+        self, documents: Iterable[Document]
+    ) -> List[Notification]:
+        """Process a micro-batch of stream documents.
+
+        Semantically identical to sequential :meth:`publish` calls —
+        each document is processed in order against the collection
+        statistics, store and clock state left by its predecessors, and
+        the returned list equals the concatenation of the per-document
+        notification lists (same order, same counter totals).
+
+        What the batch amortizes is work that cannot change between the
+        documents of one batch, because no subscription can interleave:
+        term -> postings-list resolution is memoised across the batch,
+        and the decay-power memo is cleared once per batch instead of
+        once per document (decay powers are pure functions of the age
+        gap, so reuse across documents is exact).
+        """
+        self._decay_cache.clear()
+        notifications: List[Notification] = []
+        lists_memo: Dict[str, Optional[PostingsList]] = {}
+        for document in documents:
+            notifications.extend(self._publish_one(document, lists_memo))
+        return notifications
+
+    def _publish_one(
+        self,
+        document: Document,
+        lists_memo: Dict[str, Optional[PostingsList]],
+    ) -> List[Notification]:
+        """Algorithm 2 for one document; ``lists_memo`` caches postings
+        lookups for the enclosing batch (the index is frozen while a
+        publish call runs)."""
         if document.created_at > self._clock.now:
             self._clock.advance_to(document.created_at)
         self._stats.add(document.vector)
@@ -302,30 +354,35 @@ class DasEngine:
         # Postings lists of the document's terms that index any query.
         lists: Dict[str, PostingsList] = {}
         for term in vector.terms():
-            postings = self._index.list_for(term)
+            try:
+                postings = lists_memo[term]
+            except KeyError:
+                postings = self._index.list_for(term)
+                lists_memo[term] = postings
             if postings is not None and postings.blocks:
                 lists[term] = postings
         if not lists:
             return notifications
 
+        # k-way merge of the postings cursors, cheapest head first.  The
+        # heap holds one (current query id, term) pair per unexhausted
+        # term, so advancing costs O(log T) instead of the O(T) rescan of
+        # min(active, key=...).
         cursors: Dict[str, Tuple[int, int]] = {term: (0, 0) for term in lists}
-        active: Set[str] = set(lists)
         evaluated: Set[int] = set()
-
-        def current_qid(term: str) -> float:
-            block_index, offset = cursors[term]
-            blocks = lists[term].blocks
-            if block_index >= len(blocks):
-                return _SENTINEL_QID
-            return blocks[block_index].query_ids[offset]
-
-        while active:
-            term = min(active, key=current_qid)
+        heap: List[Tuple[int, str]] = [
+            (postings.blocks[0].query_ids[0], term)
+            for term, postings in lists.items()
+        ]
+        heapq.heapify(heap)
+        use_blocks = self._config.use_blocks
+        while heap:
+            _query_id, term = heapq.heappop(heap)
             block_index, offset = cursors[term]
             blocks = lists[term].blocks
             block = blocks[block_index]
             skipped = False
-            if offset == 0 and self._config.use_blocks:
+            if offset == 0 and use_blocks:
                 if self._try_skip_block(
                     term, block, ps_cache, document, cursors, lists, now
                 ):
@@ -355,9 +412,11 @@ class DasEngine:
                 if offset >= len(block.query_ids):
                     block_index += 1
                     offset = 0
-            if block_index >= len(blocks):
-                active.discard(term)
             cursors[term] = (block_index, offset)
+            if block_index < len(blocks):
+                heapq.heappush(
+                    heap, (blocks[block_index].query_ids[offset], term)
+                )
         return notifications
 
     def _try_skip_block(
@@ -373,9 +432,11 @@ class DasEngine:
         """Group filtering condition for one block (Lemma 7)."""
         self.counters.group_checks += 1
         if block.meta_dirty:
-            block.refresh_metadata(self._result_sets, self._config.alpha)
+            block.refresh_metadata(
+                self._result_sets, self._config.alpha, self._coeff
+            )
         threshold = block_threshold_lower_bound(
-            block, self._decay, now, self._config.alpha
+            block, self._decay_cache, now, self._config.alpha
         )
         # TRel̃_max (Eq. 18): document terms whose cursor has not passed
         # this block yet can still contribute relevance to its queries.
@@ -399,6 +460,7 @@ class DasEngine:
                 term,
                 self._config.k,
                 self._config.group_bound_mode,
+                kernels=self._kernels,
             )
             if block.mcs_sets:
                 self.counters.sim_evaluations += sum(
@@ -410,6 +472,7 @@ class DasEngine:
             threshold,
             self._config.alpha,
             self._config.k,
+            coeff=self._coeff,
         )
 
     def _evaluate_query(
@@ -447,24 +510,22 @@ class DasEngine:
                     block.mcs_initial_count = 0
             return
 
-        dr_oldest = result_set.dr_oldest(now, self._decay, config.alpha)
+        dr_oldest = result_set.dr_oldest(
+            now, self._decay_cache, config.alpha, coeff=self._coeff
+        )
         if quick_relevance_bound(trel, config.alpha) <= dr_oldest + TIE_EPSILON:
             self.counters.quick_rejections += 1
             return
         sim_sum, direct, aw_used = result_set.similarity_sum(vector)
         self.counters.sim_evaluations += direct
         self.counters.aw_dot_products += aw_used
-        coeff = diversity_coefficient(config.alpha, config.k)
         dr_new = (
-            config.alpha * trel + coeff * ((config.k - 1) - sim_sum)
+            config.alpha * trel + self._coeff * ((config.k - 1) - sim_sum)
         )
         if not accepts(dr_new, dr_oldest):
             return
 
-        sims_kept = [
-            cosine_similarity(vector, entry.document.vector)
-            for entry in result_set.entries[1:]
-        ]
+        sims_kept = result_set.similarities_to_kept(vector)
         self.counters.sim_evaluations += len(sims_kept)
         evicted = result_set.replace(document, trel, sims_kept)
         self._store.unpin(evicted.doc_id)

@@ -7,14 +7,15 @@ its exact counterpart) can call them directly.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.config import GroupBoundMode
 from repro.core.blocks import PostingsBlock
 from repro.core.mcs import min_similarity_floor
+from repro.kernels import default_kernels
 from repro.scoring.diversity import diversity_coefficient
 from repro.scoring.recency import ExponentialDecay
-from repro.text.vectors import TermVector, cosine_similarity
+from repro.text.vectors import TermVector
 
 #: Strict-improvement guard: a replacement must beat the old contribution
 #: by more than this margin.  Mathematical ties (common with duplicated
@@ -75,6 +76,7 @@ def block_similarity_lower_bound(
     term: str,
     k: int,
     mode: GroupBoundMode,
+    kernels=None,
 ) -> float:
     """``Sim̃_min(b, d_n)`` (Eq. 19) from the block's MCS summary.
 
@@ -82,6 +84,11 @@ def block_similarity_lower_bound(
     floored at ``minSim(U_w(b), d_n)`` (Eq. 20).  ``STRICT`` assumes only
     ``k - 1 - |S|`` residual slots at similarity 0, which is provably a
     lower bound of the true minimum (see DESIGN.md §2).
+
+    The per-cover minimum similarities are evaluated by the ``kernels``
+    backend (pure Python by default) over a packed form cached on the
+    block and keyed by the identity of its cover list, so it survives
+    exactly as long as the MCS summary itself.
     """
     covers = block.mcs_sets
     if not covers:
@@ -91,11 +98,13 @@ def block_similarity_lower_bound(
             block.universe_min_tf, block.universe_max_norm, term, vector
         )
         return floor * k if block.mcs_sets is not None else 0.0
-    total = 0.0
-    for cover in covers:
-        total += min(
-            cosine_similarity(vector, document.vector) for document in cover
-        )
+    if kernels is None:
+        kernels = default_kernels()
+    cache = block.covers_cache
+    if cache is None or cache[0] is not covers or cache[1] is not kernels:
+        cache = (covers, kernels, kernels.pack_covers(covers))
+        block.covers_cache = cache
+    total = kernels.cover_min_sim_sum(cache[2], covers, vector)
     if mode is GroupBoundMode.STRICT:
         residual_slots = (k - 1) - len(covers)
         floor = 0.0
@@ -115,9 +124,15 @@ def group_filters_out(
     threshold_lower: float,
     alpha: float,
     k: int,
+    coeff: Optional[float] = None,
 ) -> bool:
-    """Lemma 7: the whole block can be skipped for this document."""
-    coeff = diversity_coefficient(alpha, k)
+    """Lemma 7: the whole block can be skipped for this document.
+
+    ``coeff`` is the diversity coefficient ``(2-2α)/(k-1)``; pass it to
+    avoid recomputing the loop-invariant value on every check.
+    """
+    if coeff is None:
+        coeff = diversity_coefficient(alpha, k)
     upper = alpha * trel_upper + coeff * ((k - 1) - sim_lower)
     return upper <= threshold_lower
 

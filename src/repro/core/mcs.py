@@ -121,21 +121,39 @@ def greedy_mcs_gen(
     Returns MCSs as :class:`CoverSet` objects holding :class:`Document`
     references (resolved once, so bound evaluation needs no store
     lookups).
+
+    Coverage sets are folded into integer bitmasks (one bit per block
+    member) so the inner greedy loop — "which remaining document covers
+    the most uncovered queries" — is an AND plus a popcount instead of a
+    set intersection.  Selection order (including tie-breaks) is
+    identical to the direct set formulation.
     """
     all_queries = set(query_ids)
     if not all_queries or universe.is_empty:
         return []
-    remaining: Set[int] = set(universe.documents)
+    bit_of = {query_id: 1 << i for i, query_id in enumerate(all_queries)}
+    full_mask = (1 << len(bit_of)) - 1
     coverage = universe.coverage
+    cover_mask: Dict[int, int] = {}
+    for doc_id, holders in coverage.items():
+        mask = 0
+        for query_id in holders:
+            # Holders outside the block's queries contribute nothing
+            # (the set formulation intersected them away).
+            bit = bit_of.get(query_id)
+            if bit is not None:
+                mask |= bit
+        cover_mask[doc_id] = mask
+    remaining: Set[int] = set(universe.documents)
     covers: List[CoverSet] = []
     while remaining:
         selected: List[int] = []
-        uncovered = set(all_queries)
+        uncovered = full_mask
         while uncovered:
             best_doc = -1
             best_count = 0
             for doc_id in remaining:
-                count = len(coverage[doc_id] & uncovered)
+                count = (cover_mask[doc_id] & uncovered).bit_count()
                 if count > best_count:
                     best_count = count
                     best_doc = doc_id
@@ -143,13 +161,13 @@ def greedy_mcs_gen(
                 break  # no universe document covers the rest
             selected.append(best_doc)
             remaining.discard(best_doc)
-            uncovered -= coverage[best_doc]
+            uncovered &= ~cover_mask[best_doc]
         if uncovered:
             # Incomplete cover: put the members back and stop — later
             # passes cannot do better because `remaining` only shrank.
             remaining.update(selected)
             break
-        minimal = _minimise_cover(selected, coverage, all_queries)
+        minimal = _minimise_cover(selected, cover_mask, full_mask)
         for doc_id in selected:
             if doc_id not in minimal:
                 remaining.add(doc_id)
@@ -161,8 +179,8 @@ def greedy_mcs_gen(
 
 def _minimise_cover(
     selected: Sequence[int],
-    coverage: Dict[int, Set[int]],
-    all_queries: Set[int],
+    cover_mask: Dict[int, int],
+    full_mask: int,
 ) -> Set[int]:
     """Drop members whose removal keeps the set covering (Def. 5 (2))."""
     kept: Set[int] = set(selected)
@@ -170,10 +188,10 @@ def _minimise_cover(
         without = kept - {doc_id}
         if not without:
             continue
-        covered: Set[int] = set()
+        covered = 0
         for other in without:
-            covered |= coverage[other]
-        if covered >= all_queries:
+            covered |= cover_mask[other]
+        if covered & full_mask == full_mask:
             kept = without
     return kept
 

@@ -27,10 +27,15 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.agg_weights import AggregatedTermWeights, MemoryBudget
+from repro.kernels import default_kernels
 from repro.scoring.diversity import diversity_coefficient
 from repro.scoring.recency import ExponentialDecay
 from repro.stream.document import Document
-from repro.text.vectors import TermVector, cosine_similarity
+from repro.text.vectors import TermVector
+
+#: Sentinel marking the packed member matrix as stale (``None`` is a
+#: valid packed value for the pure-Python backend).
+_DIRTY = object()
 
 
 class ResultEntry:
@@ -53,13 +58,14 @@ class ResultEntry:
 class QueryResultSet:
     """Result table of one DAS query; entries are kept oldest-first."""
 
-    __slots__ = ("k", "_entries", "_aw", "_budget", "_track_aw")
+    __slots__ = ("k", "_entries", "_aw", "_budget", "_track_aw", "_kernels", "_packed")
 
     def __init__(
         self,
         k: int,
         budget: Optional[MemoryBudget] = None,
         track_aggregated_weights: bool = True,
+        kernels=None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -68,6 +74,8 @@ class QueryResultSet:
         self._track_aw = track_aggregated_weights
         self._aw = AggregatedTermWeights() if track_aggregated_weights else None
         self._budget = budget
+        self._kernels = kernels if kernels is not None else default_kernels()
+        self._packed = _DIRTY
 
     # -- inspection --------------------------------------------------------
 
@@ -111,58 +119,88 @@ class QueryResultSet:
 
     # -- thresholds ---------------------------------------------------------
 
-    def static_dr_oldest(self, alpha: float) -> float:
+    def static_dr_oldest(
+        self, alpha: float, coeff: Optional[float] = None
+    ) -> float:
         """Time-independent part of ``dr_q(q.d_e)`` — Eq. 13's per-query term.
 
         ``α·TRel(q, d_e) + (2-2α)/(k-1) · Σ d(d_e, d_i)`` where the
         dissimilarity sum equals ``(n - 1) - Sim_acc`` over the current
-        ``n - 1`` co-resident documents.
+        ``n - 1`` co-resident documents.  ``coeff`` is the diversity
+        coefficient, passable to avoid recomputing the loop invariant.
         """
         entry = self._entries[0]
-        coeff = diversity_coefficient(alpha, self.k)
+        if coeff is None:
+            coeff = diversity_coefficient(alpha, self.k)
         pairs = len(self._entries) - 1
         return alpha * entry.trel + coeff * (pairs - entry.sim_acc)
 
-    def dr_oldest(self, now: float, decay: ExponentialDecay, alpha: float) -> float:
+    def dr_oldest(
+        self,
+        now: float,
+        decay: ExponentialDecay,
+        alpha: float,
+        coeff: Optional[float] = None,
+    ) -> float:
         """``dr_q(q.d_e)`` (Eq. 7 / corrected Eq. 25) at time ``now``."""
         entry = self._entries[0]
         recency = decay.at(entry.document.created_at, now)
-        coeff = diversity_coefficient(alpha, self.k)
+        if coeff is None:
+            coeff = diversity_coefficient(alpha, self.k)
         pairs = len(self._entries) - 1
         return alpha * entry.trel * recency + coeff * (pairs - entry.sim_acc)
 
     # -- similarity sums ------------------------------------------------------
 
+    def _packed_entries(self):
+        """The backend's packed member matrix, rebuilt when stale."""
+        packed = self._packed
+        if packed is _DIRTY:
+            packed = self._kernels.pack_entries(self._entries)
+            self._packed = packed
+        return packed
+
     def similarity_sum(self, vector: TermVector) -> Tuple[float, int, int]:
         """``Σ_{d ∈ R \\ {d_e}} Sim(d, vector)``.
 
         Uses the aggregated term weight summary for R1 documents
-        (Lemma 6) and direct cosines for R2 documents.  Returns the sum
-        plus counters ``(direct_similarities, aw_lookups)`` so the engine
-        can meter the work performed.
+        (Lemma 6) and direct cosines (one kernel call) for R2 documents.
+        Returns the sum plus counters ``(direct_similarities,
+        aw_lookups)`` so the engine can meter the work performed.
         """
-        direct = 0
         aw_used = 0
         total = 0.0
         if self._aw is not None:
             total += self._aw.similarity_sum(vector)
             aw_used = 1
-            for entry in self._entries[1:]:
-                if not entry.aw_resident:
-                    total += cosine_similarity(vector, entry.document.vector)
-                    direct += 1
-        else:
-            for entry in self._entries[1:]:
-                total += cosine_similarity(vector, entry.document.vector)
-                direct += 1
-        return total, direct, aw_used
+            # With every surviving entry folded into the AW summary there
+            # are no direct (R2) cosines left — skip the kernel call (and
+            # the packing it may trigger) outright.
+            if all(entry.aw_resident for entry in self._entries[1:]):
+                return total, 0, aw_used
+        tail_sum, direct = self._kernels.tail_similarity_sum(
+            self._packed_entries(),
+            self._entries,
+            vector,
+            skip_aw_resident=self._aw is not None,
+        )
+        return total + tail_sum, direct, aw_used
 
     def similarities_to(self, vector: TermVector) -> List[float]:
         """Per-entry similarities against all current entries, in order."""
-        return [
-            cosine_similarity(vector, entry.document.vector)
-            for entry in self._entries
-        ]
+        return self._kernels.similarities_to(
+            self._packed_entries(), self._entries, vector
+        )
+
+    def similarities_to_kept(self, vector: TermVector) -> List[float]:
+        """Similarities against the surviving entries (``entries[1:]``).
+
+        The replace path's input: cosines of the candidate document
+        against every entry except the oldest, oldest-first.
+        """
+        return self._kernels.tail_similarities(
+            self._packed_entries(), self._entries, vector
+        )
 
     # -- maintenance ----------------------------------------------------------
 
@@ -189,6 +227,10 @@ class QueryResultSet:
         for entry, sim in zip(self._entries, sims_to_existing):
             entry.sim_acc += sim
         self._append_entry(document, trel)
+        if self._packed is not _DIRTY:
+            self._packed = self._kernels.packed_append(
+                self._packed, self._entries
+            )
 
     def replace(
         self,
@@ -216,6 +258,10 @@ class QueryResultSet:
         for entry, sim in zip(self._entries, sims_to_kept):
             entry.sim_acc += sim
         self._append_entry(document, trel)
+        if self._packed is not _DIRTY:
+            self._packed = self._kernels.packed_replace(
+                self._packed, self._entries
+            )
         return evicted_entry.document
 
     def _on_new_oldest(self) -> None:
@@ -244,6 +290,7 @@ class QueryResultSet:
 
     def release_budget(self) -> None:
         """Return all reserved AW budget (used on unsubscribe)."""
+        self._packed = _DIRTY
         if self._budget is None:
             return
         for entry in self._entries:

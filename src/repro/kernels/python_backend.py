@@ -1,0 +1,105 @@
+"""Pure-Python kernel backend.
+
+The reference implementation of the kernel interface: the exact loops
+(and float summation order) the engine used before the kernel layer was
+introduced, so the ``python`` backend reproduces the original engine
+bit-for-bit.  No packing is needed — the ops read the live
+:class:`~repro.core.result_set.ResultEntry` rows and
+:class:`~repro.core.mcs.CoverSet` documents directly, so ``pack_*``
+return ``None`` and every op treats the packed argument as opaque.
+
+The interface (shared with ``numpy_backend``):
+
+``pack_entries(entries)`` / ``pack_covers(covers)``
+    Build a backend-specific packed form; invalidated by the caller
+    whenever the underlying rows change.
+``packed_append(packed, entries)`` / ``packed_replace(packed, entries)``
+    Mirror a result-set admit / replace into an existing packed form
+    (called after the entry list was mutated; the new member is
+    ``entries[-1]``) and return the packed form to keep.
+``similarities_to(packed, entries, vector)``
+    Cosine of ``vector`` against every entry, oldest first.
+``tail_similarities(packed, entries, vector)``
+    Cosines against ``entries[1:]`` (the replace path's kept rows).
+``tail_similarity_sum(packed, entries, vector, skip_aw_resident)``
+    Direct-cosine part of the Lemma 6 similarity sum; returns
+    ``(total, count)`` where ``count`` meters the cosines evaluated.
+``cover_min_sim_sum(packed, covers, vector)``
+    ``Σ_cover min_{d ∈ cover} Sim(vector, d)`` — the MCS part of the
+    group similarity bound (Eq. 19).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.text.vectors import TermVector, cosine_similarity
+
+
+class PythonKernels:
+    """Dependency-free reference backend."""
+
+    name = "python"
+
+    # -- result-set kernels ------------------------------------------------
+
+    def pack_entries(self, entries: Sequence) -> None:
+        return None
+
+    def packed_append(self, packed: None, entries: Sequence) -> None:
+        return None
+
+    def packed_replace(self, packed: None, entries: Sequence) -> None:
+        return None
+
+    def similarities_to(
+        self, packed: None, entries: Sequence, vector: TermVector
+    ) -> List[float]:
+        return [
+            cosine_similarity(vector, entry.document.vector)
+            for entry in entries
+        ]
+
+    def tail_similarities(
+        self, packed: None, entries: Sequence, vector: TermVector
+    ) -> List[float]:
+        return [
+            cosine_similarity(vector, entry.document.vector)
+            for entry in entries[1:]
+        ]
+
+    def tail_similarity_sum(
+        self,
+        packed: None,
+        entries: Sequence,
+        vector: TermVector,
+        skip_aw_resident: bool,
+    ) -> Tuple[float, int]:
+        total = 0.0
+        count = 0
+        if skip_aw_resident:
+            for entry in entries[1:]:
+                if not entry.aw_resident:
+                    total += cosine_similarity(vector, entry.document.vector)
+                    count += 1
+        else:
+            for entry in entries[1:]:
+                total += cosine_similarity(vector, entry.document.vector)
+                count += 1
+        return total, count
+
+    # -- group-bound kernels -----------------------------------------------
+
+    def pack_covers(self, covers: Sequence) -> None:
+        return None
+
+    def cover_min_sim_sum(
+        self, packed: None, covers: Sequence, vector: TermVector
+    ) -> float:
+        total = 0.0
+        for cover in covers:
+            total += min(
+                cosine_similarity(vector, document.vector)
+                for document in cover
+            )
+        return total

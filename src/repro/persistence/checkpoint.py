@@ -45,6 +45,7 @@ def _config_to_dict(config: EngineConfig) -> Dict:
         "use_agg_weights": config.use_agg_weights,
         "init_scan_limit": config.init_scan_limit,
         "store_capacity": config.store_capacity,
+        "backend": config.backend,
     }
 
 

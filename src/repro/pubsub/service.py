@@ -94,6 +94,22 @@ class PublishSubscribeService:
                 subscription.deliver(notification)
         return notifications
 
+    def publish_batch(
+        self, documents: Iterable[Document]
+    ) -> List[Notification]:
+        """Publish a micro-batch and deliver its notifications.
+
+        Delivery order matches sequential :meth:`publish` calls — the
+        engine's batched pipeline guarantees an identical notification
+        stream.
+        """
+        notifications = self._engine.publish_batch(documents)
+        for notification in notifications:
+            subscription = self._subscriptions.get(notification.query_id)
+            if subscription is not None:
+                subscription.deliver(notification)
+        return notifications
+
     def publish_text(self, text: str, created_at: Optional[float] = None) -> List[Notification]:
         """Convenience: tokenise raw text and publish it."""
         doc_id = self._next_doc_id()

@@ -47,5 +47,43 @@ class ExponentialDecay:
         return f"ExponentialDecay(base={self.base!r})"
 
 
+class CachedDecay:
+    """Memoising view over an :class:`ExponentialDecay`.
+
+    ``base ** (-age)`` is a pure function of the age gap, but the pow is
+    expensive and document-processing evaluates it for the same handful
+    of gaps (the distinct ``q.d_e`` timestamps) thousands of times per
+    published document.  The engine clears the cache at the start of
+    every publish, so entries never outlive one document's processing.
+
+    Exposes the same ``at`` / ``at_age`` interface as the wrapped decay
+    and returns bit-identical values (each power is computed by the
+    wrapped decay exactly once per cache lifetime).
+    """
+
+    __slots__ = ("_decay", "_cache")
+
+    def __init__(self, decay: ExponentialDecay) -> None:
+        self._decay = decay
+        self._cache: dict = {}
+
+    @property
+    def base(self) -> float:
+        return self._decay.base
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def at_age(self, age: float) -> float:
+        value = self._cache.get(age)
+        if value is None:
+            value = self._decay.at_age(age)
+            self._cache[age] = value
+        return value
+
+    def at(self, created_at: float, now: float) -> float:
+        return self.at_age(now - created_at)
+
+
 #: Decay that ignores time entirely (``T(d) == 1`` always).
 NO_DECAY = ExponentialDecay(1.0)

@@ -9,7 +9,7 @@ scores (Eq. 3) are evaluated millions of times per experiment.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, Mapping, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 
 class TermVector:
@@ -23,7 +23,7 @@ class TermVector:
         Total token count ``|d.v_d|`` used by the language model.
     """
 
-    __slots__ = ("_tf", "norm", "length")
+    __slots__ = ("_tf", "norm", "length", "_packed", "_backend_cache")
 
     def __init__(self, tf: Mapping[str, int]) -> None:
         cleaned: Dict[str, int] = {}
@@ -35,6 +35,8 @@ class TermVector:
         self._tf = cleaned
         self.length = sum(cleaned.values())
         self.norm = math.sqrt(sum(c * c for c in cleaned.values()))
+        self._packed: Optional[Tuple[Tuple[int, ...], Tuple[float, ...]]] = None
+        self._backend_cache: object = None
 
     @classmethod
     def from_tokens(cls, tokens: Iterable[str]) -> "TermVector":
@@ -88,6 +90,41 @@ class TermVector:
         preview = dict(sorted(self._tf.items())[:6])
         suffix = ", ..." if len(self._tf) > 6 else ""
         return f"TermVector({preview}{suffix})"
+
+    def __reduce__(self):
+        # Pickle only the term frequencies; norms and the packed caches
+        # (which may hold backend-specific arrays) are rebuilt on load.
+        return (TermVector, (self._tf,))
+
+    # -- packed representation -----------------------------------------------
+
+    def packed(self) -> Tuple[Tuple[int, ...], Tuple[float, ...]]:
+        """Interned ``(term_ids, unit_weights)`` arrays, ascending by id.
+
+        Term ids come from the process-wide
+        :data:`~repro.text.vocabulary.GLOBAL_VOCABULARY`; weights are
+        ``tf/norm`` so a cosine between two vectors is the dot product of
+        their aligned weights.  Built once per vector and cached — this
+        is the representation the kernel backends operate on.
+        """
+        packed = self._packed
+        if packed is None:
+            from repro.text.vocabulary import GLOBAL_VOCABULARY
+
+            norm = self.norm
+            if norm == 0.0:
+                packed = ((), ())
+            else:
+                pairs = sorted(
+                    (GLOBAL_VOCABULARY.add(term), count)
+                    for term, count in self._tf.items()
+                )
+                packed = (
+                    tuple(pair[0] for pair in pairs),
+                    tuple(pair[1] / norm for pair in pairs),
+                )
+            self._packed = packed
+        return packed
 
     # -- geometry -------------------------------------------------------------
 

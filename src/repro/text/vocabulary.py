@@ -55,3 +55,10 @@ class Vocabulary:
     def decode(self, ids: Iterable[int]) -> List[str]:
         """Inverse of :meth:`encode`."""
         return [self._id_to_term[i] for i in ids]
+
+
+#: Process-wide vocabulary shared by every :class:`TermVector`'s packed
+#: term-id representation (see ``text/vectors.py``).  Ids are opaque
+#: labels — sharing one id space across engines is safe and lets packed
+#: vectors be compared without re-interning.
+GLOBAL_VOCABULARY = Vocabulary()

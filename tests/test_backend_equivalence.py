@@ -1,0 +1,148 @@
+"""Backend equivalence: python and numpy kernels make identical decisions.
+
+The two backends may disagree in the last float bits (different
+summation association), but every engine decision is guarded by
+``TIE_EPSILON`` strict-improvement margins, so on any stream the
+*notification sequences* — and therefore the result sets and reference
+``DR`` scores — must match exactly.  The same must hold between
+:meth:`~repro.core.engine.DasEngine.publish` and
+:meth:`~repro.core.engine.DasEngine.publish_batch`, whose batching only
+amortises cross-document invariants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import DasEngine
+from repro.kernels import numpy_available
+from repro.workloads.corpus import SyntheticTweetCorpus
+from repro.workloads.queries import lqd_queries
+
+METHODS = ("GIFilter", "IFilter", "BIRT", "IRT")
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="NumPy not importable"
+)
+
+
+def make_workload(n_docs=220, n_queries=40, seed=3):
+    corpus = SyntheticTweetCorpus(
+        vocab_size=400, n_topics=12, doc_length=(4, 12), seed=seed
+    )
+    docs = corpus.documents(n_docs)
+    queries = lqd_queries(corpus, n_queries, first_id=0)
+    return docs, queries
+
+
+def run_engine(method, backend, docs, queries, batch_size=0, **overrides):
+    """Drive one engine; returns (notification log, final DR map)."""
+    engine = DasEngine.for_method(
+        method, k=4, block_size=4, backend=backend, **overrides
+    )
+    warmup, stream = docs[:50], docs[50:]
+    log = []
+
+    def record(notifications):
+        for n in notifications:
+            log.append(
+                (
+                    n.query_id,
+                    n.document.doc_id,
+                    n.replaced.doc_id if n.replaced is not None else None,
+                )
+            )
+
+    for document in warmup:
+        record(engine.publish(document))
+    for query in queries:
+        engine.subscribe(query)
+    if batch_size:
+        for start in range(0, len(stream), batch_size):
+            record(engine.publish_batch(stream[start : start + batch_size]))
+    else:
+        for document in stream:
+            record(engine.publish(document))
+    final_dr = {
+        query.query_id: engine.current_dr(query.query_id)
+        for query in queries
+    }
+    results = {
+        query.query_id: [d.doc_id for d in engine.results(query.query_id)]
+        for query in queries
+    }
+    return log, final_dr, results
+
+
+@needs_numpy
+@pytest.mark.parametrize("method", METHODS)
+def test_numpy_matches_python_notifications(method):
+    docs, queries = make_workload()
+    py_log, py_dr, py_results = run_engine(method, "python", docs, queries)
+    np_log, np_dr, np_results = run_engine(method, "numpy", docs, queries)
+    assert np_log == py_log
+    assert np_results == py_results
+    for query_id, expected in py_dr.items():
+        assert np_dr[query_id] == pytest.approx(expected, abs=1e-9)
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize(
+    "backend",
+    ["python", pytest.param("numpy", marks=needs_numpy)],
+)
+def test_batch_matches_sequential(method, backend):
+    docs, queries = make_workload(seed=5)
+    seq = run_engine(method, backend, docs, queries)
+    for batch_size in (1, 7, 64):
+        batched = run_engine(
+            method, backend, docs, queries, batch_size=batch_size
+        )
+        assert batched[0] == seq[0], batch_size
+        assert batched[2] == seq[2], batch_size
+        for query_id, expected in seq[1].items():
+            assert batched[1][query_id] == pytest.approx(expected, abs=1e-12)
+
+
+@needs_numpy
+def test_numpy_matches_python_under_tight_budget():
+    """Φ_max pressure exercises the R2 direct-cosine kernel heavily."""
+    docs, queries = make_workload(seed=7)
+    py = run_engine("GIFilter", "python", docs, queries, phi_max=20)
+    np_ = run_engine("GIFilter", "numpy", docs, queries, phi_max=20)
+    assert np_[0] == py[0]
+    assert np_[2] == py[2]
+
+
+@needs_numpy
+def test_numpy_matches_python_with_unsubscribes():
+    docs, queries = make_workload(seed=11)
+    logs = {}
+    for backend in ("python", "numpy"):
+        engine = DasEngine.for_method(
+            "GIFilter", k=3, block_size=4, backend=backend
+        )
+        for document in docs[:60]:
+            engine.publish(document)
+        for query in queries:
+            engine.subscribe(query)
+        for document in docs[60:140]:
+            engine.publish(document)
+        for query in queries[::4]:
+            engine.unsubscribe(query.query_id)
+        log = []
+        for document in docs[140:]:
+            for n in engine.publish(document):
+                log.append((n.query_id, n.document.doc_id))
+        logs[backend] = log
+    assert logs["numpy"] == logs["python"]
+
+
+@needs_numpy
+def test_auto_backend_prefers_numpy():
+    engine = DasEngine.for_method("GIFilter", k=2, block_size=2)
+    assert engine.backend_name == "numpy"
+    explicit = DasEngine.for_method(
+        "GIFilter", k=2, block_size=2, backend="python"
+    )
+    assert explicit.backend_name == "python"
