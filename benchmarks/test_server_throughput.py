@@ -1,0 +1,181 @@
+"""End-to-end serving-runtime throughput (ISSUE 2: new subsystem).
+
+Measures docs/sec through the full in-process transport path —
+``InProcessClient.publish`` → bounded ingestion queue → matcher task →
+adaptive micro-batch → engine → delivery queue → consuming subscriber —
+at 1, 4 and 16 concurrent publishers.  Unlike ``test_publish_throughput``
+(pure engine cost, ``process_time``), this benchmark is about the
+asyncio pipeline, so it times wall-clock (``perf_counter``) with one
+warm-up round and reports the best of ``MEASURE_ROUNDS`` timed rounds.
+
+Artifacts:
+
+* ``benchmarks/out/server_throughput.txt`` — human-readable table;
+* ``BENCH_server.json`` at the repo root — machine-readable trajectory
+  record (docs/sec per concurrency level plus batching stats).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import time
+
+from benchmarks.common import write_output
+from repro.config import ServerConfig
+from repro.core.engine import DasEngine
+from repro.server import InProcessClient, ServerRuntime
+
+#: Concurrent publisher counts exercised (ISSUE 2 satellite e).
+PUBLISHER_COUNTS = (1, 4, 16)
+#: Documents pushed per round, split across the publishers.
+DOCS_PER_ROUND = 480
+#: Timed rounds per level (after one untimed warm-up round).
+MEASURE_ROUNDS = 2
+
+N_QUERIES = 16
+VOCAB = [f"term{i}" for i in range(40)]
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_server.json")
+
+
+def _token_stream(publisher, count, round_index):
+    """Deterministic token lists that keep hitting the subscriptions."""
+    stream = []
+    for index in range(count):
+        a = VOCAB[(publisher * 7 + index) % len(VOCAB)]
+        b = VOCAB[(publisher * 3 + index * 5 + round_index) % len(VOCAB)]
+        stream.append([a, b, f"u{round_index}_{publisher}_{index}"])
+    return stream
+
+
+async def _measure_level(n_publishers):
+    """Fresh runtime per level; returns (rates, stats_snapshot)."""
+    runtime = ServerRuntime(
+        DasEngine.for_method("GIFilter", k=10, block_size=4),
+        ServerConfig(
+            ingest_capacity=256,
+            outbound_capacity=8192,
+            max_batch_size=64,
+            drain_timeout=30.0,
+        ),
+    )
+    await runtime.start()
+    subscriber = InProcessClient(runtime, capacity=8192)
+    for index in range(N_QUERIES):
+        await subscriber.subscribe(
+            [VOCAB[index % len(VOCAB)], VOCAB[(index * 11 + 3) % len(VOCAB)]]
+        )
+
+    delivered = 0
+
+    async def consume():
+        nonlocal delivered
+        while True:
+            message = await subscriber.next_message()
+            if message is None or message["op"] == "closed":
+                return
+            delivered += 1
+
+    consumer = asyncio.create_task(consume())
+
+    async def publisher(stream):
+        client = InProcessClient(runtime)
+        for tokens in stream:
+            await client.publish(tokens=tokens)
+        await client.close()
+
+    docs_each = DOCS_PER_ROUND // n_publishers
+    rates = []
+    for round_index in range(MEASURE_ROUNDS + 1):
+        streams = [
+            _token_stream(p, docs_each, round_index)
+            for p in range(n_publishers)
+        ]
+        start = time.perf_counter()
+        await asyncio.gather(*[publisher(stream) for stream in streams])
+        elapsed = time.perf_counter() - start
+        if round_index == 0:
+            continue  # warm-up round
+        total = docs_each * n_publishers
+        rates.append(total / elapsed if elapsed > 0 else 0.0)
+
+    stats = runtime.stats()
+    await runtime.stop()
+    await consumer
+    return rates, stats, delivered
+
+
+def run_server_suite():
+    results = {}
+    for n_publishers in PUBLISHER_COUNTS:
+        rates, stats, delivered = asyncio.run(
+            asyncio.wait_for(_measure_level(n_publishers), 300.0)
+        )
+        results[n_publishers] = {
+            "docs_per_sec": max(rates),
+            "rounds": [round(rate, 1) for rate in rates],
+            "accepted": stats["accepted"],
+            "batches": stats["batches"]["batches"],
+            "max_batch": stats["batches"]["max_size"],
+            "delivered": delivered,
+        }
+    return results
+
+
+def format_table(results):
+    lines = [
+        "Serving-runtime throughput (docs/sec end-to-end via the "
+        f"in-process transport, best of {MEASURE_ROUNDS} perf_counter "
+        f"rounds, {N_QUERIES} queries, {DOCS_PER_ROUND} docs/round)",
+        f"{'publishers':>10} {'docs/sec':>10} {'max batch':>10}  rounds",
+    ]
+    for n_publishers, record in results.items():
+        rounds = ", ".join(f"{rate:.1f}" for rate in record["rounds"])
+        lines.append(
+            f"{n_publishers:>10} {record['docs_per_sec']:>10.1f} "
+            f"{record['max_batch']:>10}  [{rounds}]"
+        )
+    return "\n".join(lines)
+
+
+def test_server_throughput():
+    results = run_server_suite()
+    for n_publishers in PUBLISHER_COUNTS:
+        record = results[n_publishers]
+        assert record["docs_per_sec"] > 0.0, n_publishers
+        # Every publish of every round was accepted and matched.
+        assert record["accepted"] == DOCS_PER_ROUND * (MEASURE_ROUNDS + 1)
+        # The block-policy subscriber lost nothing.
+        assert record["delivered"] > 0
+
+    write_output("server_throughput", format_table(results))
+    payload = {
+        "benchmark": "server_throughput",
+        "spec": {
+            "publisher_counts": list(PUBLISHER_COUNTS),
+            "docs_per_round": DOCS_PER_ROUND,
+            "measure_rounds": MEASURE_ROUNDS,
+            "n_queries": N_QUERIES,
+            "k": 10,
+            "timer": "perf_counter",
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "results": {
+            str(n_publishers): {
+                "docs_per_sec": record["docs_per_sec"],
+                "rounds": record["rounds"],
+                "batches": record["batches"],
+                "max_batch": record["max_batch"],
+            }
+            for n_publishers, record in results.items()
+        },
+    }
+    with open(JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)

@@ -26,9 +26,11 @@ from repro.baselines import (
     NaiveEngine,
 )
 from repro.config import (
+    SLOW_CONSUMER_POLICIES,
     UNLIMITED,
     EngineConfig,
     GroupBoundMode,
+    ServerConfig,
     birt_config,
     gifilter_config,
     ifilter_config,
@@ -43,9 +45,17 @@ from repro.errors import (
     DuplicateDocumentError,
     DuplicateQueryError,
     EmptyQueryError,
+    ProtocolError,
     QueryOrderError,
     ReproError,
+    ServerClosedError,
     UnknownQueryError,
+)
+from repro.server import (
+    InProcessClient,
+    NdjsonTcpClient,
+    NdjsonTcpServer,
+    ServerRuntime,
 )
 from repro.metrics import Counters
 from repro.scoring import ExponentialDecay, LanguageModelScorer
@@ -72,13 +82,21 @@ __all__ = [
     "EngineConfig",
     "ExponentialDecay",
     "GroupBoundMode",
+    "InProcessClient",
     "IrtEngine",
     "LanguageModelScorer",
     "Mailbox",
     "MsIncEngine",
     "NaiveEngine",
+    "NdjsonTcpClient",
+    "NdjsonTcpServer",
     "Notification",
+    "ProtocolError",
     "PublishSubscribeService",
+    "SLOW_CONSUMER_POLICIES",
+    "ServerClosedError",
+    "ServerConfig",
+    "ServerRuntime",
     "ShardedDasEngine",
     "Subscription",
     "QueryOrderError",

@@ -151,6 +151,80 @@ class EngineConfig:
         return replace(self, **changes)
 
 
+#: Slow-consumer policies of the serving runtime's delivery sessions.
+#:
+#: ``block``
+#:     Apply backpressure: the matcher waits for queue space, so no
+#:     notification is ever lost (at the cost of head-of-line blocking).
+#: ``drop_oldest``
+#:     Evict the oldest queued message; newest updates win (mirrors
+#:     :class:`repro.pubsub.subscriber.Mailbox`).
+#: ``coalesce``
+#:     Keep only the latest result-set snapshot per query; intermediate
+#:     updates collapse while the consumer lags.
+#: ``disconnect``
+#:     Close the session; a consumer too slow to keep up is kicked.
+SLOW_CONSUMER_POLICIES = ("block", "drop_oldest", "coalesce", "disconnect")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Configuration for the asyncio serving runtime (``repro.server``).
+
+    Capacities are in messages.  The ingestion queue bounds how far
+    publishers can run ahead of the matcher; the outbound capacity bounds
+    how far the matcher can run ahead of each subscriber.
+    """
+
+    #: Bound of the publish ingestion queue (publishers await space).
+    ingest_capacity: int = 1024
+    #: Bound of each subscriber session's outbound queue.
+    outbound_capacity: int = 64
+    #: Hard cap on the matcher's adaptive micro-batch size.
+    max_batch_size: int = 64
+    #: Default slow-consumer policy for new sessions (per-session
+    #: overridable), one of :data:`SLOW_CONSUMER_POLICIES`.
+    slow_consumer_policy: str = "block"
+    #: Graceful-shutdown deadline (seconds) for flushing the ingestion
+    #: queue and the delivery queues.
+    drain_timeout: float = 5.0
+    #: Bind address of the NDJSON TCP transport.
+    host: str = "127.0.0.1"
+    #: Bind port of the NDJSON TCP transport (0 = ephemeral).
+    port: int = 8765
+
+    def __post_init__(self) -> None:
+        if self.ingest_capacity < 1:
+            raise ConfigurationError(
+                f"ingest_capacity must be >= 1, got {self.ingest_capacity}"
+            )
+        if self.outbound_capacity < 1:
+            raise ConfigurationError(
+                f"outbound_capacity must be >= 1, got {self.outbound_capacity}"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.slow_consumer_policy not in SLOW_CONSUMER_POLICIES:
+            raise ConfigurationError(
+                f"slow_consumer_policy must be one of {SLOW_CONSUMER_POLICIES}, "
+                f"got {self.slow_consumer_policy!r}"
+            )
+        if self.drain_timeout <= 0.0:
+            raise ConfigurationError(
+                f"drain_timeout must be > 0, got {self.drain_timeout}"
+            )
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError(
+                f"port must be in [0, 65535], got {self.port}"
+            )
+
+    def evolve(self, **changes: object) -> "ServerConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
 def gifilter_config(**overrides: object) -> EngineConfig:
     """Configuration for the paper's full method (group + individual)."""
     base = EngineConfig(use_blocks=True, use_group_filter=True, use_agg_weights=True)

@@ -23,7 +23,7 @@ Routing policies:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.config import EngineConfig
 from repro.core.engine import DasEngine
@@ -116,6 +116,36 @@ class ShardedDasEngine:
         for shard in self.shards:
             notifications.extend(shard.publish(document))
         return notifications
+
+    def publish_batch(
+        self, documents: Iterable[Document]
+    ) -> List[Notification]:
+        """Broadcast a micro-batch to every shard; merge in document order.
+
+        Each shard runs its own :meth:`DasEngine.publish_batch` (keeping
+        the per-shard batching amortisations), then the per-shard
+        notification streams — already in document order — are
+        interleaved document-major / shard-minor, so the merged stream
+        equals sequential :meth:`publish` calls exactly.
+        """
+        docs = list(documents)
+        if not docs:
+            return []
+        per_shard = [shard.publish_batch(docs) for shard in self.shards]
+        merged: List[Notification] = []
+        positions = [0] * len(per_shard)
+        for document in docs:
+            doc_id = document.doc_id
+            for index, stream in enumerate(per_shard):
+                position = positions[index]
+                while (
+                    position < len(stream)
+                    and stream[position].document.doc_id == doc_id
+                ):
+                    merged.append(stream[position])
+                    position += 1
+                positions[index] = position
+        return merged
 
     def results(self, query_id: int) -> List[Document]:
         return self.shards[self.shard_of(query_id)].results(query_id)

@@ -52,3 +52,11 @@ class EmptyQueryError(ReproError):
 
 class EvictionError(ReproError):
     """The document store cannot evict enough documents (all are pinned)."""
+
+
+class ProtocolError(ReproError):
+    """A transport request is malformed (bad JSON, unknown op, bad field)."""
+
+
+class ServerClosedError(ReproError):
+    """The serving runtime is draining or stopped and rejects new work."""

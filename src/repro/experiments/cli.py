@@ -1,19 +1,22 @@
-"""Command-line interface: regenerate any of the paper's figures.
+"""Command-line interface: regenerate figures, or serve the engine.
 
 Usage::
 
     python -m repro.experiments.cli list
     python -m repro.experiments.cli run fig6 fig10
     python -m repro.experiments.cli run all --scale tiny --out results/
+    python -m repro.experiments.cli serve --port 8765 --method GIFilter
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import os
 import sys
 from typing import Dict, List, Sequence
 
+from repro.config import METHOD_CONFIGS, SLOW_CONSUMER_POLICIES
 from repro.experiments import sweeps
 from repro.experiments.workload import WorkloadSpec
 
@@ -87,7 +90,106 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write tables to (default: stdout only)",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the NDJSON-over-TCP pub/sub server",
+        description=(
+            "Start the asyncio serving runtime around a DAS engine and "
+            "expose it as newline-delimited JSON over TCP "
+            "(subscribe/unsubscribe/publish/results/stats)."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--method",
+        choices=sorted(METHOD_CONFIGS),
+        default="GIFilter",
+        help="engine method (default: GIFilter)",
+    )
+    serve.add_argument(
+        "--k", type=int, default=30, help="results per query (default: 30)"
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="engine shards; > 1 serves a ShardedDasEngine (default: 1)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=SLOW_CONSUMER_POLICIES,
+        default="block",
+        help="slow-consumer policy for subscriber sessions (default: block)",
+    )
+    serve.add_argument(
+        "--ingest-capacity",
+        type=int,
+        default=1024,
+        help="bound of the publish ingestion queue (default: 1024)",
+    )
+    serve.add_argument(
+        "--outbound-capacity",
+        type=int,
+        default=64,
+        help="bound of each subscriber delivery queue (default: 64)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="cap on the adaptive micro-batch size (default: 64)",
+    )
     return parser
+
+
+def build_serve_runtime(args):
+    """Build the (runtime, tcp server) pair for the ``serve`` command."""
+    from repro.config import ServerConfig
+    from repro.core.engine import DasEngine
+    from repro.distributed import ShardedDasEngine
+    from repro.server import NdjsonTcpServer, ServerRuntime
+
+    if args.shards > 1:
+        base = DasEngine.for_method(args.method, k=args.k)
+        engine = ShardedDasEngine(args.shards, base.config)
+    else:
+        engine = DasEngine.for_method(args.method, k=args.k)
+    config = ServerConfig(
+        ingest_capacity=args.ingest_capacity,
+        outbound_capacity=args.outbound_capacity,
+        max_batch_size=args.max_batch,
+        slow_consumer_policy=args.policy,
+        host=args.host,
+        port=args.port,
+    )
+    runtime = ServerRuntime(engine, config)
+    return runtime, NdjsonTcpServer(runtime)
+
+
+async def _serve(args) -> None:
+    runtime, server = build_serve_runtime(args)
+    await runtime.start()
+    host, port = await server.start()
+    print(f"serving {args.method} (k={args.k}) on {host}:{port}", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+        await runtime.stop()
+
+
+def run_serve(args) -> int:
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    return 0
 
 
 def run_figures(
@@ -134,6 +236,8 @@ def main(argv: Sequence[str] = None) -> int:
         for key, (description, _runner) in FIGURES.items():
             print(f"{key:<{width}}  {description}")
         return 0
+    if args.command == "serve":
+        return run_serve(args)
     run_figures(args.figures, args.scale, args.out)
     return 0
 

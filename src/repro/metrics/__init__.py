@@ -1,6 +1,6 @@
 """Metrics: instrumentation counters, timers, quality proxies."""
 
-from repro.metrics.instrumentation import Counters
+from repro.metrics.instrumentation import BatchHistogram, Counters
 from repro.metrics.quality import (
     QualityReport,
     evaluate_result_set,
@@ -14,6 +14,7 @@ from repro.metrics.quality import (
 from repro.metrics.timing import Stopwatch
 
 __all__ = [
+    "BatchHistogram",
     "Counters",
     "QualityReport",
     "Stopwatch",

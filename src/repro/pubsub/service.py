@@ -26,6 +26,7 @@ class PublishSubscribeService:
         )
         self._subscriptions: Dict[int, Subscription] = {}
         self._next_query_id = 0
+        self._next_auto_doc_id = 0
 
     @property
     def engine(self) -> DasEngine:
@@ -110,15 +111,34 @@ class PublishSubscribeService:
                 subscription.deliver(notification)
         return notifications
 
-    def publish_text(self, text: str, created_at: Optional[float] = None) -> List[Notification]:
+    def publish_text(
+        self, text: str, created_at: Optional[float] = None
+    ) -> List[Notification]:
         """Convenience: tokenise raw text and publish it."""
-        doc_id = self._next_doc_id()
+        return self.publish_texts([text], created_at=created_at)
+
+    def publish_texts(
+        self, texts: Iterable[str], created_at: Optional[float] = None
+    ) -> List[Notification]:
+        """Tokenise raw texts and publish them as one micro-batch.
+
+        Ids are allocated up front for the whole batch (a service-owned
+        counter, floored by the engine's store), so auto-assigned ids can
+        never collide with each other or with documents the caller
+        published directly.
+        """
         timestamp = (
             created_at if created_at is not None else self._engine.clock.now
         )
-        return self.publish(Document.from_text(doc_id, text, timestamp))
+        documents = [
+            Document.from_text(self._next_doc_id(), text, timestamp)
+            for text in texts
+        ]
+        return self.publish_batch(documents)
 
     def _next_doc_id(self) -> int:
-        store = self._engine.store
-        last = getattr(store, "_last_id", None)
-        return 0 if last is None else last + 1
+        last = getattr(self._engine.store, "_last_id", None)
+        floor = 0 if last is None else last + 1
+        doc_id = max(self._next_auto_doc_id, floor)
+        self._next_auto_doc_id = doc_id + 1
+        return doc_id

@@ -1,0 +1,189 @@
+"""Session protocol shared by the in-process and NDJSON TCP transports.
+
+Every message — request, reply, or server push — is one JSON object; on
+the TCP transport each object is one ``\\n``-terminated line (NDJSON).
+The in-process transport exchanges the *same* dict shapes without the
+serialisation round-trip, so a client tested in-process behaves
+identically over the wire.
+
+Requests carry an ``op`` plus op-specific fields and an optional client
+``id`` echoed back as ``reply_to``:
+
+====================  =====================================================
+op                    fields
+====================  =====================================================
+``subscribe``         ``keywords`` (list of terms) or ``text`` (tokenised)
+``unsubscribe``       ``query_id``
+``publish``           ``tokens`` (list) or ``text``; optional ``created_at``
+``results``           ``query_id``
+``stats``             —
+====================  =====================================================
+
+Replies are ``{"ok": true, "reply_to": ..., ...}`` on success and
+``{"ok": false, "reply_to": ..., "error": {"type", "message"}}`` on
+failure, where ``type`` is the :mod:`repro.errors` class name so clients
+can re-raise structured errors.  Server pushes are ``{"op": "notify"}``
+(one result-set change), ``{"op": "snapshot"}`` (a coalesced result-set
+snapshot) and ``{"op": "closed"}`` (the session ended).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+import repro.errors as errors
+from repro.core.events import Notification
+from repro.errors import ProtocolError, ReproError
+from repro.stream.document import Document
+
+#: Request operations understood by the serving runtime.
+REQUEST_OPS = ("subscribe", "unsubscribe", "publish", "results", "stats")
+
+#: repro error-class name -> class, for structured client-side re-raising.
+ERROR_TYPES: Dict[str, type] = {
+    name: obj
+    for name, obj in vars(errors).items()
+    if isinstance(obj, type) and issubclass(obj, ReproError)
+}
+
+
+# -- payload builders (server -> client) ---------------------------------
+
+
+def document_payload(document: Document) -> Dict[str, Any]:
+    """Wire form of a document: id, timestamp, tf map, optional text."""
+    payload: Dict[str, Any] = {
+        "doc_id": document.doc_id,
+        "created_at": document.created_at,
+        "tf": dict(document.vector.items()),
+    }
+    if document.text is not None:
+        payload["text"] = document.text
+    return payload
+
+
+def document_from_payload(payload: Dict[str, Any]) -> Document:
+    """Rebuild a :class:`Document` from :func:`document_payload` output."""
+    from repro.text.vectors import TermVector
+
+    return Document(
+        int(payload["doc_id"]),
+        TermVector(payload["tf"]),
+        float(payload["created_at"]),
+        payload.get("text"),
+    )
+
+
+def notification_payload(notification: Notification) -> Dict[str, Any]:
+    replaced = notification.replaced
+    return {
+        "op": "notify",
+        "query_id": notification.query_id,
+        "document": document_payload(notification.document),
+        "replaced": (
+            document_payload(replaced) if replaced is not None else None
+        ),
+    }
+
+
+def snapshot_payload(
+    query_id: int, documents: List[Document], coalesced: int = 0
+) -> Dict[str, Any]:
+    """A coalesced delivery: the query's full current result set."""
+    return {
+        "op": "snapshot",
+        "query_id": query_id,
+        "results": [document_payload(document) for document in documents],
+        "coalesced": coalesced,
+    }
+
+
+def closed_payload(reason: str) -> Dict[str, Any]:
+    return {"op": "closed", "reason": reason}
+
+
+def ok_reply(reply_to: Optional[Any] = None, **fields: Any) -> Dict[str, Any]:
+    reply: Dict[str, Any] = {"ok": True}
+    if reply_to is not None:
+        reply["reply_to"] = reply_to
+    reply.update(fields)
+    return reply
+
+
+def error_reply(
+    exc: BaseException, reply_to: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Structured error reply; ``type`` names the repro error class."""
+    reply: Dict[str, Any] = {
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+    if reply_to is not None:
+        reply["reply_to"] = reply_to
+    return reply
+
+
+def raise_for_reply(reply: Dict[str, Any]) -> Dict[str, Any]:
+    """Return a successful reply, or re-raise its structured error."""
+    if reply.get("ok"):
+        return reply
+    error = reply.get("error") or {}
+    exc_type = ERROR_TYPES.get(error.get("type"), ReproError)
+    raise exc_type(error.get("message", "server error"))
+
+
+# -- request validation (client -> server) --------------------------------
+
+
+def parse_request(payload: Any) -> Dict[str, Any]:
+    """Validate one inbound request object; raises :class:`ProtocolError`."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"request must be a JSON object, got {type(payload).__name__}")
+    op = payload.get("op")
+    if op not in REQUEST_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {REQUEST_OPS}"
+        )
+    if op in ("unsubscribe", "results"):
+        if not isinstance(payload.get("query_id"), int):
+            raise ProtocolError(f"{op} requires an integer 'query_id'")
+    if op == "subscribe":
+        keywords = payload.get("keywords")
+        text = payload.get("text")
+        if keywords is None and text is None:
+            raise ProtocolError("subscribe requires 'keywords' or 'text'")
+        if keywords is not None and not isinstance(keywords, (list, tuple)):
+            raise ProtocolError("'keywords' must be a list of terms")
+    if op == "publish":
+        tokens = payload.get("tokens")
+        text = payload.get("text")
+        if tokens is None and text is None:
+            raise ProtocolError("publish requires 'tokens' or 'text'")
+        if tokens is not None and not isinstance(tokens, (list, tuple)):
+            raise ProtocolError("'tokens' must be a list of terms")
+        created_at = payload.get("created_at")
+        if created_at is not None and not isinstance(created_at, (int, float)):
+            raise ProtocolError("'created_at' must be a number")
+    return payload
+
+
+# -- NDJSON framing -------------------------------------------------------
+
+
+def encode_line(payload: Dict[str, Any]) -> bytes:
+    """One message as a ``\\n``-terminated UTF-8 JSON line."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one NDJSON line; raises :class:`ProtocolError` on bad input."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON line: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"expected a JSON object per line, got {type(payload).__name__}"
+        )
+    return payload

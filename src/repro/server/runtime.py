@@ -1,0 +1,604 @@
+"""The asyncio serving runtime: ingestion pipeline + fan-out delivery.
+
+Architecture (one event loop, one matcher):
+
+::
+
+    publishers --await put--> [bounded ingest queue] --> matcher task
+                                                           |  adaptive micro-batch
+                                                           v  (run_in_executor)
+                                                     engine.publish_batch
+                                                           |
+                              per-subscriber sessions <----+  route notifications
+                              (bounded, slow-consumer policy)
+
+Every engine operation — subscribe, unsubscribe, publish, results — flows
+through the single ingestion queue and is executed by the single matcher
+task, so the engine only ever sees one call at a time and the dequeue
+order *is* the accepted serialization: under any interleaving of
+concurrent publishers, each subscriber observes exactly the notification
+subsequence of one sequential publish order (the order acknowledged ids
+were assigned).  Engine calls run on a one-thread executor so the event
+loop keeps accepting requests and feeding consumers while a batch
+matches.
+
+Control operations act as batch barriers: the matcher flushes the
+publish batch it is coalescing before executing them, which gives
+read-your-writes semantics to ``results`` and makes subscriptions take
+effect at a well-defined point of the accepted order.
+
+Shutdown (``stop(drain=True)``) stops accepting new work, lets the
+matcher flush everything already accepted, then flushes delivery queues
+against ``ServerConfig.drain_timeout`` — under the ``block`` policy every
+accepted document's notifications reach their consumers (no loss).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import suppress
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import SLOW_CONSUMER_POLICIES, ServerConfig
+from repro.core.engine import DasEngine
+from repro.core.events import Notification
+from repro.core.query import DasQuery
+from repro.distributed.sharded import ShardedDasEngine
+from repro.errors import ReproError, ServerClosedError, UnknownQueryError
+from repro.metrics.instrumentation import Counters
+from repro.pubsub.service import PublishSubscribeService
+from repro.server.batching import AdaptiveBatcher
+from repro.server.protocol import (
+    document_payload,
+    error_reply,
+    notification_payload,
+    ok_reply,
+    parse_request,
+    snapshot_payload,
+)
+from repro.server.sessions import SubscriberSession
+from repro.stream.document import Document
+
+#: Sentinel queued by ``stop`` after the last accepted item (FIFO puts
+#: guarantee nothing lands behind it once submissions are rejected).
+_STOP = object()
+
+
+class _PublishItem:
+    __slots__ = ("tokens", "text", "created_at", "future")
+
+    def __init__(self, tokens, text, created_at, future) -> None:
+        self.tokens = tokens
+        self.text = text
+        self.created_at = created_at
+        self.future = future
+
+
+class _ControlItem:
+    __slots__ = ("kind", "session", "args", "future")
+
+    def __init__(self, kind, session, args, future) -> None:
+        self.kind = kind
+        self.session = session
+        self.args = args
+        self.future = future
+
+
+class EngineFacade:
+    """Uniform engine-like facade over the three wrappable shapes.
+
+    Normalises :class:`DasEngine`, :class:`ShardedDasEngine` and
+    :class:`PublishSubscribeService` to the five calls the matcher needs.
+    All engine-touching methods run on the runtime's executor thread.
+    """
+
+    def __init__(self, engine: object) -> None:
+        self._engine = engine
+        self._is_service = isinstance(engine, PublishSubscribeService)
+        self._next_query_id = self._query_floor()
+
+    @property
+    def engine(self) -> object:
+        return self._engine
+
+    def _shards(self) -> Sequence[DasEngine]:
+        if isinstance(self._engine, ShardedDasEngine):
+            return self._engine.shards
+        if self._is_service:
+            return [self._engine.engine]
+        return [self._engine]
+
+    def _query_floor(self) -> int:
+        if isinstance(self._engine, ShardedDasEngine):
+            assignment = self._engine._assignment
+            return max(assignment) + 1 if assignment else 0
+        engine = self._engine.engine if self._is_service else self._engine
+        last = getattr(engine, "_last_query_id", None)
+        return 0 if last is None else last + 1
+
+    def doc_id_floor(self) -> int:
+        floors = []
+        for shard in self._shards():
+            last = getattr(shard.store, "_last_id", None)
+            floors.append(0 if last is None else last + 1)
+        return max(floors) if floors else 0
+
+    def clock_now(self) -> float:
+        return self._shards()[0].clock.now
+
+    def subscribe(self, keywords: Iterable[str]) -> Tuple[int, List[Document]]:
+        if self._is_service:
+            subscription = self._engine.subscribe(list(keywords))
+            query_id = subscription.query_id
+            return query_id, self._engine.results(query_id)
+        query_id = max(self._next_query_id, self._query_floor())
+        initial = self._engine.subscribe(DasQuery(query_id, keywords))
+        self._next_query_id = query_id + 1
+        return query_id, initial
+
+    def unsubscribe(self, query_id: int) -> None:
+        self._engine.unsubscribe(query_id)
+
+    def publish_batch(
+        self, documents: Sequence[Document]
+    ) -> List[Notification]:
+        return self._engine.publish_batch(documents)
+
+    def results(self, query_id: int) -> List[Document]:
+        return self._engine.results(query_id)
+
+    def counters(self) -> Counters:
+        if self._is_service:
+            return self._engine.engine.counters
+        return self._engine.counters
+
+
+class ServerRuntime:
+    """Async serving runtime around any engine-like object."""
+
+    def __init__(
+        self, engine: object, config: Optional[ServerConfig] = None
+    ) -> None:
+        self._facade = EngineFacade(engine)
+        self._config = config if config is not None else ServerConfig()
+        self._batcher = AdaptiveBatcher(self._config.max_batch_size)
+        self._state = "new"
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ingest: Optional[asyncio.Queue] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._matcher_task: Optional[asyncio.Task] = None
+        self._sessions: Dict[int, SubscriberSession] = {}
+        self._owners: Dict[int, SubscriberSession] = {}
+        self._next_session_id = 0
+        self._next_doc_id = 0
+        self._last_created_at = 0.0
+        self._inflight: List[object] = []
+        self._accepted = 0
+        self._published = 0
+        self._disconnects = 0
+        self._retired_drops = {policy: 0 for policy in SLOW_CONSUMER_POLICIES}
+        self._retired_coalesced = 0
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def engine(self) -> object:
+        return self._facade.engine
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._state != "new":
+            raise ServerClosedError(f"runtime already {self._state}")
+        self._loop = asyncio.get_running_loop()
+        self._ingest = asyncio.Queue(self._config.ingest_capacity)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-matcher"
+        )
+        self._next_doc_id = self._facade.doc_id_floor()
+        self._last_created_at = self._facade.clock_now()
+        self._matcher_task = asyncio.create_task(self._matcher_loop())
+        self._state = "running"
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful (or immediate) shutdown.
+
+        With ``drain=True``: stop accepting, flush the ingestion queue,
+        then flush delivery queues — all against the configured
+        ``drain_timeout`` deadline.  Stalled consumers are closed when
+        the deadline passes.
+        """
+        if self._state in ("stopped", "new"):
+            self._state = "stopped"
+            return
+        if self._state == "draining":
+            return
+        self._state = "draining"
+        deadline = self._loop.time() + self._config.drain_timeout
+        if drain:
+            await self._ingest.put(_STOP)
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(self._matcher_task),
+                    max(0.001, deadline - self._loop.time()),
+                )
+            except asyncio.TimeoutError:
+                self._matcher_task.cancel()
+                with suppress(asyncio.CancelledError):
+                    await self._matcher_task
+            for session in list(self._sessions.values()):
+                remaining = deadline - self._loop.time()
+                if remaining > 0 and not session.closed:
+                    await session.drain(remaining)
+        else:
+            self._matcher_task.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._matcher_task
+        for session in list(self._sessions.values()):
+            await session.close("shutdown")
+            self._remove_session(session)
+        self._fail_pending(ServerClosedError("server stopped"))
+        self._executor.shutdown(wait=True)
+        self._state = "stopped"
+
+    def _fail_pending(self, exc: Exception) -> None:
+        """Fail futures of items the cancelled matcher never processed."""
+        leftovers = list(self._inflight)
+        self._inflight.clear()
+        while self._ingest is not None and not self._ingest.empty():
+            leftovers.append(self._ingest.get_nowait())
+        for item in leftovers:
+            future = getattr(item, "future", None)
+            if future is not None and not future.done():
+                future.set_exception(exc)
+
+    # -- session management ------------------------------------------------
+
+    def open_session(
+        self,
+        policy: Optional[str] = None,
+        capacity: Optional[int] = None,
+    ) -> SubscriberSession:
+        if self._state not in ("new", "running"):
+            raise ServerClosedError(f"runtime is {self._state}")
+        session = SubscriberSession(
+            self._next_session_id,
+            capacity if capacity is not None else self._config.outbound_capacity,
+            policy if policy is not None else self._config.slow_consumer_policy,
+        )
+        self._next_session_id += 1
+        self._sessions[session.session_id] = session
+        return session
+
+    async def close_session(self, session: SubscriberSession) -> None:
+        """Close a session and release its subscriptions."""
+        await session.close("client")
+        if self._state == "running" and session.queries:
+            await self._submit_control("retire", session, None)
+        else:
+            for query_id in list(session.queries):
+                self._owners.pop(query_id, None)
+            session.queries.clear()
+        self._remove_session(session)
+
+    def _remove_session(self, session: SubscriberSession) -> None:
+        if self._sessions.pop(session.session_id, None) is not None:
+            self._retired_drops[session.policy] += session.dropped
+            self._retired_coalesced += session.coalesced
+
+    # -- public operations -------------------------------------------------
+
+    def _require_running(self, op: str) -> None:
+        if self._state != "running":
+            raise ServerClosedError(
+                f"cannot {op}: runtime is {self._state}"
+            )
+
+    async def _submit_control(
+        self, kind: str, session: Optional[SubscriberSession], args: object
+    ) -> object:
+        future = self._loop.create_future()
+        # No await between the state check and the queue put: FIFO puts
+        # guarantee the item lands ahead of any later stop() sentinel.
+        self._require_running(kind)
+        await self._ingest.put(_ControlItem(kind, session, args, future))
+        return await future
+
+    async def subscribe(
+        self, session: SubscriberSession, keywords: Iterable[str]
+    ) -> Tuple[int, List[Document]]:
+        """Register a subscription owned by ``session``."""
+        result = await self._submit_control(
+            "subscribe", session, tuple(keywords)
+        )
+        return result
+
+    async def unsubscribe(
+        self, query_id: int, session: Optional[SubscriberSession] = None
+    ) -> None:
+        await self._submit_control("unsubscribe", session, query_id)
+
+    async def results(self, query_id: int) -> List[Document]:
+        return await self._submit_control("results", None, query_id)
+
+    async def publish(
+        self,
+        tokens: Optional[Sequence[str]] = None,
+        text: Optional[str] = None,
+        created_at: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """Submit one document; resolves once its notifications are
+        enqueued to every (non-stalled) subscriber session.
+
+        Returns ``{"doc_id", "created_at"}`` — the accepted identity.
+        """
+        if tokens is None and text is None:
+            raise ReproError("publish requires tokens or text")
+        self._require_running("publish")
+        future = self._loop.create_future()
+        await self._ingest.put(
+            _PublishItem(tokens, text, created_at, future)
+        )
+        return await future
+
+    def stats(self) -> Dict[str, Any]:
+        """Admin surface: queue depths, batching, per-policy drops,
+        engine counters."""
+        sessions = [
+            session.as_dict() for session in self._sessions.values()
+        ]
+        drops = dict(self._retired_drops)
+        coalesced = self._retired_coalesced
+        for session in self._sessions.values():
+            drops[session.policy] += session.dropped
+            coalesced += session.coalesced
+        return {
+            "state": self._state,
+            "accepted": self._accepted,
+            "published": self._published,
+            "ingest_depth": self._ingest.qsize() if self._ingest else 0,
+            "ingest_capacity": self._config.ingest_capacity,
+            "batch_target": self._batcher.target,
+            "batches": self._batcher.histogram.as_dict(),
+            "sessions": sessions,
+            "policy_drops": drops,
+            "coalesced": coalesced,
+            "disconnects": self._disconnects,
+            "counters": self._facade.counters().as_dict(),
+        }
+
+    # -- transport-facing dispatch ----------------------------------------
+
+    async def handle_request(
+        self, session: SubscriberSession, payload: object
+    ) -> Dict[str, Any]:
+        """Execute one protocol request; always returns a reply dict."""
+        reply_to = payload.get("id") if isinstance(payload, dict) else None
+        try:
+            request = parse_request(payload)
+            op = request["op"]
+            if op == "subscribe":
+                keywords = request.get("keywords")
+                if keywords is None:
+                    from repro.text.tokenizer import tokenize
+
+                    keywords = tokenize(request["text"])
+                query_id, initial = await self.subscribe(session, keywords)
+                return ok_reply(
+                    reply_to,
+                    query_id=query_id,
+                    initial=[document_payload(doc) for doc in initial],
+                )
+            if op == "unsubscribe":
+                await self.unsubscribe(request["query_id"], session=session)
+                return ok_reply(reply_to, query_id=request["query_id"])
+            if op == "publish":
+                ack = await self.publish(
+                    tokens=request.get("tokens"),
+                    text=request.get("text"),
+                    created_at=request.get("created_at"),
+                )
+                return ok_reply(reply_to, **ack)
+            if op == "results":
+                documents = await self.results(request["query_id"])
+                return ok_reply(
+                    reply_to,
+                    query_id=request["query_id"],
+                    results=[document_payload(doc) for doc in documents],
+                )
+            return ok_reply(reply_to, stats=self.stats())
+        except ReproError as exc:
+            return error_reply(exc, reply_to)
+
+    # -- matcher ----------------------------------------------------------
+
+    async def _matcher_loop(self) -> None:
+        while True:
+            item = await self._ingest.get()
+            if item is _STOP:
+                return
+            held = None
+            if isinstance(item, _PublishItem):
+                batch = [item]
+                target = self._batcher.target
+                while len(batch) < target:
+                    try:
+                        nxt = self._ingest.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if isinstance(nxt, _PublishItem):
+                        batch.append(nxt)
+                    else:
+                        held = nxt
+                        break
+                self._inflight = list(batch)
+                await self._run_publish_batch(batch)
+                self._inflight.clear()
+                self._batcher.record(len(batch), self._ingest.qsize())
+            else:
+                held = item
+            if held is _STOP:
+                return
+            if held is not None:
+                self._inflight = [held]
+                await self._run_control(held)
+                self._inflight.clear()
+
+    async def _run_control(self, item: _ControlItem) -> None:
+        try:
+            if item.kind == "subscribe":
+                query_id, initial = await self._loop.run_in_executor(
+                    self._executor, self._facade.subscribe, item.args
+                )
+                self._owners[query_id] = item.session
+                if item.session is not None:
+                    item.session.queries.add(query_id)
+                result = (query_id, initial)
+            elif item.kind == "unsubscribe":
+                query_id = item.args
+                owner = self._owners.get(query_id)
+                if item.session is not None and owner is not item.session:
+                    raise UnknownQueryError(
+                        f"query {query_id} is not owned by this session"
+                    )
+                await self._loop.run_in_executor(
+                    self._executor, self._facade.unsubscribe, query_id
+                )
+                self._owners.pop(query_id, None)
+                if owner is not None:
+                    owner.queries.discard(query_id)
+                result = None
+            elif item.kind == "results":
+                result = await self._loop.run_in_executor(
+                    self._executor, self._facade.results, item.args
+                )
+            elif item.kind == "retire":
+                await self._retire_queries(item.session)
+                result = None
+            else:  # pragma: no cover - internal invariant
+                raise ReproError(f"unknown control kind {item.kind!r}")
+        except Exception as exc:
+            if not item.future.done():
+                item.future.set_exception(exc)
+        else:
+            if not item.future.done():
+                item.future.set_result(result)
+
+    async def _run_publish_batch(self, items: List[_PublishItem]) -> None:
+        prepared = []
+        for item in items:
+            doc_id = self._next_doc_id
+            self._next_doc_id += 1
+            if item.created_at is not None:
+                timestamp = max(float(item.created_at), self._last_created_at)
+            else:
+                timestamp = max(time.time(), self._last_created_at)
+            self._last_created_at = timestamp
+            prepared.append((item, doc_id, timestamp))
+            self._accepted += 1
+
+        def _build_and_publish():
+            documents = []
+            for publish_item, doc_id, timestamp in prepared:
+                if publish_item.tokens is not None:
+                    documents.append(
+                        Document.from_tokens(
+                            doc_id,
+                            publish_item.tokens,
+                            timestamp,
+                            publish_item.text,
+                        )
+                    )
+                else:
+                    documents.append(
+                        Document.from_text(
+                            doc_id, publish_item.text, timestamp
+                        )
+                    )
+            return documents, self._facade.publish_batch(documents)
+
+        try:
+            documents, notifications = await self._loop.run_in_executor(
+                self._executor, _build_and_publish
+            )
+        except Exception as exc:
+            for publish_item, _doc_id, _timestamp in prepared:
+                if not publish_item.future.done():
+                    publish_item.future.set_exception(exc)
+            return
+        self._published += len(documents)
+        await self._route(notifications)
+        for publish_item, doc_id, timestamp in prepared:
+            if not publish_item.future.done():
+                publish_item.future.set_result(
+                    {"doc_id": doc_id, "created_at": timestamp}
+                )
+
+    async def _route(self, notifications: List[Notification]) -> None:
+        """Fan notifications out to their owning sessions.
+
+        Coalescing sessions receive one result-set snapshot per touched
+        query per batch instead of per-change notifications.
+        """
+        touched: Dict[int, List[int]] = {}
+        for notification in notifications:
+            session = self._owners.get(notification.query_id)
+            if session is None or session.closed:
+                continue
+            if session.policy == "coalesce":
+                queries = touched.setdefault(session.session_id, [])
+                if notification.query_id not in queries:
+                    queries.append(notification.query_id)
+                continue
+            delivered = await session.offer(
+                notification_payload(notification), notification.query_id
+            )
+            if not delivered and session.closed:
+                await self._disconnect_session(session)
+        for session_id, query_ids in touched.items():
+            session = self._sessions.get(session_id)
+            if session is None or session.closed:
+                continue
+            for query_id in query_ids:
+                if self._owners.get(query_id) is not session:
+                    continue
+                documents = await self._loop.run_in_executor(
+                    self._executor, self._facade.results, query_id
+                )
+                delivered = await session.offer(
+                    snapshot_payload(query_id, documents), query_id
+                )
+                if not delivered and session.closed:
+                    await self._disconnect_session(session)
+                    break
+
+    async def _disconnect_session(self, session: SubscriberSession) -> None:
+        """A slow-consumer disconnect: drop its subscriptions and retire."""
+        if session.session_id not in self._sessions:
+            return
+        self._disconnects += 1
+        await self._retire_queries(session)
+        self._remove_session(session)
+
+    async def _retire_queries(self, session: SubscriberSession) -> None:
+        """Unsubscribe every query a closing session owns (matcher ctx)."""
+        for query_id in list(session.queries):
+            if self._owners.get(query_id) is session:
+                try:
+                    await self._loop.run_in_executor(
+                        self._executor, self._facade.unsubscribe, query_id
+                    )
+                except ReproError:
+                    pass
+                self._owners.pop(query_id, None)
+        session.queries.clear()

@@ -1,0 +1,310 @@
+"""Newline-delimited-JSON TCP transport (``asyncio.start_server``).
+
+One connection = one subscriber session.  The client sends request lines
+(`subscribe`/`unsubscribe`/`publish`/`results`/`stats`); the server
+writes reply lines and, interleaved, pushes `notify`/`snapshot`/`closed`
+lines from the session's delivery queue.  A per-connection write lock
+keeps reply and push lines from interleaving mid-line.
+
+Request dispatch, error replies, and slow-consumer behaviour all live in
+:class:`~repro.server.runtime.ServerRuntime` and
+:class:`~repro.server.sessions.SubscriberSession`; this module only does
+framing and connection lifecycle.  :class:`NdjsonTcpClient` is the
+reference client used by the tests, the README quickstart and the
+``serve`` CLI's documentation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.server.protocol import (
+    decode_line,
+    encode_line,
+    error_reply,
+    raise_for_reply,
+)
+from repro.server.runtime import ServerRuntime
+
+#: Refuse request lines longer than this (protects the reader buffer).
+MAX_LINE_BYTES = 1 << 20
+
+
+class NdjsonTcpServer:
+    """NDJSON TCP front-end for a :class:`ServerRuntime`."""
+
+    def __init__(
+        self,
+        runtime: ServerRuntime,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        policy: Optional[str] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self._runtime = runtime
+        self._host = host if host is not None else runtime.config.host
+        self._port = port if port is not None else runtime.config.port
+        self._policy = policy
+        self._capacity = capacity
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.Task] = set()
+        self.address: Optional[Tuple[str, int]] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=MAX_LINE_BYTES,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop listening and tear down the remaining connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        for task in list(self._connections):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._connections.clear()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            session = self._runtime.open_session(
+                policy=self._policy, capacity=self._capacity
+            )
+        except Exception:
+            # Runtime already draining/stopped: refuse the connection.
+            with _suppress_all():
+                writer.close()
+                await writer.wait_closed()
+            self._connections.discard(task)
+            return
+        write_lock = asyncio.Lock()
+        pusher = asyncio.create_task(
+            self._push_loop(session, writer, write_lock)
+        )
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                    ConnectionError,
+                ):
+                    break
+                except asyncio.CancelledError:
+                    # Server stop(): end the connection quietly; teardown
+                    # happens in the finally block.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    payload = decode_line(line)
+                except ProtocolError as exc:
+                    reply = error_reply(exc)
+                else:
+                    reply = await self._runtime.handle_request(
+                        session, payload
+                    )
+                try:
+                    async with write_lock:
+                        writer.write(encode_line(reply))
+                        await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            try:
+                await self._runtime.close_session(session)
+            except (Exception, asyncio.CancelledError):
+                pass
+            pusher.cancel()
+            with _suppress_all():
+                await pusher
+            with _suppress_all():
+                writer.close()
+                await writer.wait_closed()
+            self._connections.discard(task)
+
+    async def _push_loop(
+        self,
+        session,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Forward session pushes to the socket until the session ends."""
+        while True:
+            message = await session.next_message()
+            if message is None:
+                break
+            try:
+                async with write_lock:
+                    writer.write(encode_line(message))
+                    await writer.drain()
+            except ConnectionError:
+                break
+
+
+class _suppress_all:
+    """``contextlib.suppress`` for connection teardown (any error)."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return True
+
+
+class NdjsonTcpClient:
+    """Reference NDJSON client: request/reply plus a push mailbox.
+
+    Usage::
+
+        client = await NdjsonTcpClient.connect("127.0.0.1", 8765)
+        reply = await client.subscribe(["coffee", "espresso"])
+        await client.publish(text="fresh espresso downtown")
+        note = await client.next_message(timeout=5.0)  # {"op": "notify", ...}
+        await client.close()
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_request_id = 0
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._messages: asyncio.Queue = asyncio.Queue()
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "NdjsonTcpClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = decode_line(line)
+                except ProtocolError:
+                    continue
+                if "ok" in payload:
+                    future = self._pending.pop(payload.get("reply_to"), None)
+                    if future is not None and not future.done():
+                        future.set_result(payload)
+                else:
+                    await self._messages.put(payload)
+        finally:
+            await self._messages.put(None)
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("server closed the connection")
+                    )
+            self._pending.clear()
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        payload = dict(payload)
+        payload["id"] = request_id
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_line(payload))
+        await self._writer.drain()
+        reply = await future
+        return raise_for_reply(reply)
+
+    # -- ops --------------------------------------------------------------
+
+    async def subscribe(
+        self,
+        keywords: Optional[Iterable[str]] = None,
+        text: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "subscribe"}
+        if keywords is not None:
+            payload["keywords"] = list(keywords)
+        if text is not None:
+            payload["text"] = text
+        return await self.request(payload)
+
+    async def unsubscribe(self, query_id: int) -> Dict[str, Any]:
+        return await self.request(
+            {"op": "unsubscribe", "query_id": query_id}
+        )
+
+    async def publish(
+        self,
+        tokens: Optional[Sequence[str]] = None,
+        text: Optional[str] = None,
+        created_at: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "publish"}
+        if tokens is not None:
+            payload["tokens"] = list(tokens)
+        if text is not None:
+            payload["text"] = text
+        if created_at is not None:
+            payload["created_at"] = created_at
+        return await self.request(payload)
+
+    async def results(self, query_id: int) -> List[Dict[str, Any]]:
+        reply = await self.request({"op": "results", "query_id": query_id})
+        return reply["results"]
+
+    async def stats(self) -> Dict[str, Any]:
+        reply = await self.request({"op": "stats"})
+        return reply["stats"]
+
+    async def send_raw(self, data: bytes) -> None:
+        """Write raw bytes (tests use this for malformed lines)."""
+        self._writer.write(data)
+        await self._writer.drain()
+
+    async def next_message(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Next pushed message, or None once the connection ended."""
+        if timeout is None:
+            return await self._messages.get()
+        return await asyncio.wait_for(self._messages.get(), timeout)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        with _suppress_all():
+            await self._reader_task
+        with _suppress_all():
+            self._writer.close()
+            await self._writer.wait_closed()

@@ -71,3 +71,62 @@ def test_file_source(tmp_path):
     assert docs[0].text == "Great coffee downtown!"
     with pytest.raises(ValueError):
         FileSource(str(path), interval=-1.0)
+
+
+# -- serve command (ISSUE 2) --------------------------------------------------
+
+
+def test_serve_parser_defaults():
+    from repro.experiments.cli import build_parser
+
+    args = build_parser().parse_args(["serve"])
+    assert args.command == "serve"
+    assert args.method == "GIFilter"
+    assert args.port == 8765
+    assert args.shards == 1
+    assert args.policy == "block"
+
+
+def test_serve_parser_rejects_bad_policy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--policy", "yolo"])
+
+
+def test_build_serve_runtime_single_and_sharded():
+    from repro.core.engine import DasEngine
+    from repro.distributed import ShardedDasEngine
+    from repro.experiments.cli import build_serve_runtime
+    from repro.server import NdjsonTcpServer, ServerRuntime
+
+    args = build_parser().parse_args(
+        ["serve", "--port", "0", "--k", "5", "--policy", "coalesce"]
+    )
+    runtime, server = build_serve_runtime(args)
+    assert isinstance(runtime, ServerRuntime)
+    assert isinstance(server, NdjsonTcpServer)
+    assert isinstance(runtime.engine, DasEngine)
+    assert runtime.config.slow_consumer_policy == "coalesce"
+    assert runtime.config.port == 0
+
+    args = build_parser().parse_args(["serve", "--port", "0", "--shards", "2"])
+    runtime, _server = build_serve_runtime(args)
+    assert isinstance(runtime.engine, ShardedDasEngine)
+    assert len(runtime.engine.shards) == 2
+
+
+def test_serve_command_starts_and_stops(capsys):
+    """`cli serve` binds an ephemeral port and shuts down cleanly."""
+    import asyncio
+
+    from repro.experiments.cli import build_parser, build_serve_runtime
+
+    async def scenario():
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        runtime, server = build_serve_runtime(args)
+        await runtime.start()
+        host, port = await server.start()
+        assert port > 0
+        await server.stop()
+        await runtime.stop()
+
+    asyncio.run(asyncio.wait_for(scenario(), 30.0))

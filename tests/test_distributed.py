@@ -122,3 +122,61 @@ def test_custom_engine_factory():
         2, engine_factory=lambda: DasEngine.for_method("IRT", k=2)
     )
     assert all(shard.method_name == "IRT" for shard in sharded.shards)
+
+
+def test_sharded_publish_batch_matches_sequential_publish():
+    """`publish_batch` must yield the same notification stream, in the
+    same order, as sequential `publish` calls (ISSUE 2 satellite)."""
+    corpus = SyntheticTweetCorpus(vocab_size=150, n_topics=6, seed=7)
+    docs = corpus.documents(60)
+    queries = lqd_queries(corpus, 12, first_id=0)
+
+    sequential = ShardedDasEngine(3, small_config())
+    batched = ShardedDasEngine(3, small_config())
+    for query in queries:
+        sequential.subscribe(query)
+        batched.subscribe(query)
+
+    expected = []
+    for document in docs:
+        expected.extend(sequential.publish(document))
+    actual = batched.publish_batch(docs)
+
+    def stream(notifications):
+        return [
+            (
+                n.query_id,
+                n.document.doc_id,
+                n.replaced.doc_id if n.replaced else None,
+            )
+            for n in notifications
+        ]
+
+    assert stream(actual) == stream(expected)
+    assert batched.counters.docs_published == 60
+    for query in queries:
+        assert [d.doc_id for d in batched.results(query.query_id)] == [
+            d.doc_id for d in sequential.results(query.query_id)
+        ]
+
+
+def test_sharded_publish_batch_merges_in_document_order():
+    """Within one batch, notifications for an earlier document precede
+    notifications for a later one, regardless of which shard raised
+    them."""
+    from repro.stream.document import Document
+
+    sharded = ShardedDasEngine(2, small_config())
+    assert sharded.publish_batch([]) == []
+    sharded.subscribe(DasQuery(0, ["a"]))  # shard 0
+    sharded.subscribe(DasQuery(1, ["a"]))  # shard 1
+    docs = [
+        Document.from_tokens(i, ["a", f"u{i}"], float(i)) for i in range(4)
+    ]
+    notifications = sharded.publish_batch(docs)
+    # Both shards notify for every document; doc ids must be
+    # non-decreasing across the merged stream.
+    doc_order = [n.document.doc_id for n in notifications]
+    assert doc_order == sorted(doc_order)
+    assert {n.query_id for n in notifications} == {0, 1}
+    assert sharded.counters.docs_published == 4

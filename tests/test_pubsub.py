@@ -149,3 +149,88 @@ def test_repr():
     assert "active" in repr(subscription)
     subscription.cancel()
     assert "cancelled" in repr(subscription)
+
+
+# -- batched text publishing (ISSUE 2 satellite) ------------------------------
+
+
+def small_service():
+    return PublishSubscribeService(
+        DasEngine.for_method("GIFilter", k=3, block_size=4)
+    )
+
+
+def test_publish_texts_routes_through_batch_pipeline():
+    service = small_service()
+    subscription = service.subscribe(["coffee"], mailbox_capacity=16)
+    notifications = service.publish_texts(
+        ["coffee shop", "coffee beans", "tea house"], created_at=1.0
+    )
+    # Ids are allocated in input order; only the matching docs notify.
+    assert [n.document.doc_id for n in notifications] == [0, 1]
+    assert service.engine.counters.docs_published == 3
+    drained = subscription.mailbox.drain()
+    assert [n.document.doc_id for n in drained] == [0, 1]
+
+
+def test_publish_texts_matches_sequential_publish_text():
+    batched = small_service()
+    sequential = small_service()
+    batched.subscribe(["coffee"], mailbox_capacity=32)
+    sequential.subscribe(["coffee"], mailbox_capacity=32)
+    texts = [f"coffee update {i}" for i in range(6)]
+    batch_notes = batched.publish_texts(texts, created_at=1.0)
+    seq_notes = []
+    for text in texts:
+        seq_notes.extend(sequential.publish_text(text, created_at=1.0))
+
+    def stream(notes):
+        return [
+            (
+                n.query_id,
+                n.document.doc_id,
+                n.replaced.doc_id if n.replaced else None,
+            )
+            for n in notes
+        ]
+
+    assert stream(batch_notes) == stream(seq_notes)
+
+
+def test_publish_texts_empty_batch_is_a_noop():
+    service = small_service()
+    assert service.publish_texts([]) == []
+    assert service.engine.counters.docs_published == 0
+    # The id counter did not advance: the next text still gets id 0.
+    service.publish_texts(["coffee"], created_at=1.0)
+    assert service.engine.store._last_id == 0
+
+
+def test_auto_doc_ids_skip_externally_published_documents():
+    """Auto-assigned ids must never collide with ids the caller chose
+    when publishing Documents directly (ISSUE 2 satellite)."""
+    service = small_service()
+    service.subscribe(["coffee"], mailbox_capacity=32)
+
+    first = service.publish_texts(["coffee one"], created_at=1.0)
+    assert first[0].document.doc_id == 0
+
+    # External publish with a caller-chosen id far ahead.
+    service.publish(doc(5, ["coffee", "external"], t=2.0))
+
+    # The next auto id jumps past the external document instead of
+    # colliding with history.
+    second = service.publish_texts(["coffee two"], created_at=3.0)
+    assert second[0].document.doc_id == 6
+
+    # And the counter stays monotonic even if the engine floor lags.
+    third = service.publish_text("coffee three", created_at=4.0)
+    assert third[0].document.doc_id == 7
+
+
+def test_auto_doc_ids_survive_interleaved_batches():
+    service = small_service()
+    service.publish_texts(["a b", "c d"], created_at=1.0)  # ids 0, 1
+    service.publish(doc(2, ["x"], t=2.0))  # external takes the next slot
+    service.publish_texts(["e f", "g h"], created_at=3.0)
+    assert service.engine.store._last_id == 4  # 0,1,2 then 3,4

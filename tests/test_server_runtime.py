@@ -1,0 +1,302 @@
+"""Serving-runtime tests: serialization equivalence, drain, batching.
+
+The correctness bar (ISSUE 2): under any interleaving of concurrent
+publishers, the notification stream delivered to each subscriber must be
+a serialization consistent with some sequential publish order — asserted
+here against a reference engine replaying the server's *accepted* order
+(the doc-id order of the publish acks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.config import ServerConfig
+from repro.core.engine import DasEngine
+from repro.core.query import DasQuery
+from repro.distributed import ShardedDasEngine
+from repro.errors import EmptyQueryError, ServerClosedError
+from repro.pubsub import PublishSubscribeService
+from repro.server import InProcessClient, ServerRuntime
+from repro.stream.document import Document
+
+
+def run(coroutine, timeout=30.0):
+    """Run an async scenario with a hard deadline (deadlock guard)."""
+    return asyncio.run(asyncio.wait_for(coroutine, timeout))
+
+
+def small_engine(**overrides):
+    defaults = dict(k=3, block_size=4, backend="python")
+    defaults.update(overrides)
+    return DasEngine.for_method("GIFilter", **defaults)
+
+
+def triple(message):
+    replaced = message["replaced"]
+    return (
+        message["query_id"],
+        message["document"]["doc_id"],
+        replaced["doc_id"] if replaced else None,
+    )
+
+
+KEYWORD_SETS = [
+    ["coffee", "espresso"],
+    ["coffee", "beans"],
+    ["tea", "green"],
+    ["espresso", "machine"],
+]
+
+
+def token_streams(n_publishers, docs_each):
+    """Deterministic per-publisher token-list streams that hit the
+    subscriptions above."""
+    base = ["coffee", "espresso", "beans", "tea", "green", "machine"]
+    streams = []
+    for publisher in range(n_publishers):
+        stream = []
+        for index in range(docs_each):
+            term = base[(publisher + index) % len(base)]
+            other = base[(publisher * 3 + index * 2 + 1) % len(base)]
+            stream.append([term, other, f"u{publisher}_{index}"])
+        streams.append(stream)
+    return streams
+
+
+async def _concurrent_scenario(n_publishers, docs_each):
+    """Subscribe, publish concurrently, drain; return what's needed for
+    the reference replay."""
+    runtime = ServerRuntime(
+        small_engine(),
+        ServerConfig(
+            ingest_capacity=16,
+            outbound_capacity=4096,
+            max_batch_size=8,
+            drain_timeout=10.0,
+        ),
+    )
+    await runtime.start()
+    subscriber = InProcessClient(runtime)  # block policy: lossless
+    query_ids = []
+    for keywords in KEYWORD_SETS:
+        reply = await subscriber.subscribe(keywords)
+        query_ids.append(reply["query_id"])
+
+    received = []
+
+    async def consume():
+        while True:
+            message = await subscriber.next_message()
+            if message is None or message["op"] == "closed":
+                return
+            received.append(message)
+
+    consumer = asyncio.create_task(consume())
+
+    acks = []
+
+    async def publisher(stream):
+        client = InProcessClient(runtime)
+        for tokens in stream:
+            ack = await client.publish(tokens=tokens)
+            acks.append((ack["doc_id"], ack["created_at"], tokens))
+        await client.close()
+
+    await asyncio.gather(
+        *[publisher(stream) for stream in token_streams(n_publishers, docs_each)]
+    )
+    stats = await subscriber.stats()
+    await runtime.stop()  # graceful drain: flush delivery, then close
+    await consumer
+    return query_ids, acks, received, stats, subscriber.session
+
+
+def replay_reference(query_ids, acks):
+    """Reference engine replaying the accepted order sequentially."""
+    reference = small_engine()
+    for query_id, keywords in zip(query_ids, KEYWORD_SETS):
+        reference.subscribe(DasQuery(query_id, keywords))
+    expected = []
+    for doc_id, created_at, tokens in sorted(acks):
+        for notification in reference.publish(
+            Document.from_tokens(doc_id, tokens, created_at)
+        ):
+            expected.append(
+                (
+                    notification.query_id,
+                    notification.document.doc_id,
+                    notification.replaced.doc_id
+                    if notification.replaced
+                    else None,
+                )
+            )
+    return expected
+
+
+@pytest.mark.parametrize("n_publishers", [1, 4])
+def test_serialization_equivalence_under_concurrent_publishers(n_publishers):
+    query_ids, acks, received, stats, session = run(
+        _concurrent_scenario(n_publishers, docs_each=12)
+    )
+    # Every publish was accepted exactly once, with unique increasing ids.
+    doc_ids = sorted(doc_id for doc_id, _ts, _tokens in acks)
+    assert doc_ids == list(range(len(doc_ids)))
+    assert stats["accepted"] == n_publishers * 12
+    # The delivered stream equals the reference replay of the accepted
+    # order — same notifications, same global order, nothing lost
+    # (graceful shutdown under the block policy).
+    assert [triple(message) for message in received] == replay_reference(
+        query_ids, acks
+    )
+    assert session.dropped == 0
+
+
+def test_graceful_shutdown_flushes_ingestion_and_delivery():
+    async def scenario():
+        runtime = ServerRuntime(
+            small_engine(k=2, alpha=1.0, decay_base=1.5),
+            ServerConfig(
+                ingest_capacity=64,
+                outbound_capacity=512,
+                max_batch_size=4,
+                drain_timeout=10.0,
+            ),
+        )
+        await runtime.start()
+        subscriber = InProcessClient(runtime)
+        reply = await subscriber.subscribe(["x"])
+        query_id = reply["query_id"]
+        # Queue publishes without awaiting acks, then immediately stop:
+        # drain must still process every accepted item.
+        publish_tasks = [
+            asyncio.create_task(
+                runtime.publish(tokens=["x", f"u{i}"], created_at=float(i))
+            )
+            for i in range(12)
+        ]
+        await asyncio.sleep(0)  # let every put land before the sentinel
+        stop_task = asyncio.create_task(runtime.stop())
+        messages = []
+        while True:
+            message = await subscriber.next_message(timeout=5.0)
+            if message is None or message["op"] == "closed":
+                break
+            messages.append(message)
+        await stop_task
+        acks = await asyncio.gather(*publish_tasks)
+        return runtime, query_id, messages, acks
+
+    runtime, query_id, messages, acks = run(scenario())
+    assert [ack["doc_id"] for ack in acks] == list(range(12))
+    # Every accepted document triggered exactly one notification for the
+    # standing query (verified workload shape), none lost on shutdown.
+    assert [m["document"]["doc_id"] for m in messages] == list(range(12))
+    assert all(m["query_id"] == query_id for m in messages)
+    assert runtime.state == "stopped"
+
+
+def test_rejects_work_after_stop():
+    async def scenario():
+        runtime = ServerRuntime(small_engine(), ServerConfig())
+        await runtime.start()
+        client = InProcessClient(runtime)
+        await client.subscribe(["x"])
+        await runtime.stop()
+        with pytest.raises(ServerClosedError):
+            await runtime.publish(tokens=["x"])
+        with pytest.raises(ServerClosedError):
+            runtime.open_session()
+        # stats still answer after shutdown (admin surface).
+        stats = runtime.stats()
+        assert stats["state"] == "stopped"
+
+    run(scenario())
+
+
+def test_structured_errors_propagate_through_transport():
+    async def scenario():
+        runtime = ServerRuntime(small_engine(), ServerConfig())
+        await runtime.start()
+        client = InProcessClient(runtime)
+        with pytest.raises(EmptyQueryError):
+            await client.subscribe([])
+        reply = await runtime.handle_request(
+            client.session, {"op": "bogus", "id": 7}
+        )
+        assert reply["ok"] is False
+        assert reply["error"]["type"] == "ProtocolError"
+        assert reply["reply_to"] == 7
+        await runtime.stop()
+
+    run(scenario())
+
+
+def test_adaptive_batching_engages_under_backlog():
+    async def scenario():
+        runtime = ServerRuntime(
+            small_engine(),
+            ServerConfig(
+                ingest_capacity=256, outbound_capacity=1024, max_batch_size=16
+            ),
+        )
+        await runtime.start()
+        client = InProcessClient(runtime)
+        await client.subscribe(["coffee"])
+        # Flood without awaiting: the matcher sees a backlog and must
+        # coalesce multiple documents per engine call.
+        tasks = [
+            asyncio.create_task(
+                runtime.publish(tokens=["coffee", f"u{i}"], created_at=float(i))
+            )
+            for i in range(60)
+        ]
+        await asyncio.gather(*tasks)
+        stats = runtime.stats()
+        await runtime.stop()
+        return stats
+
+    stats = run(scenario())
+    histogram = stats["batches"]
+    assert histogram["documents"] == 60
+    assert histogram["max_size"] > 1  # batching actually engaged
+    assert histogram["batches"] < 60
+
+
+def test_wraps_sharded_engine_and_service():
+    async def scenario(engine):
+        runtime = ServerRuntime(engine, ServerConfig(drain_timeout=5.0))
+        await runtime.start()
+        subscriber = InProcessClient(runtime)
+        reply = await subscriber.subscribe(["coffee"])
+        ack = await subscriber.publish(
+            tokens=["coffee", "fresh"], created_at=1.0
+        )
+        message = await subscriber.next_message(timeout=5.0)
+        results = await subscriber.results(reply["query_id"])
+        await runtime.stop()
+        assert ack["doc_id"] == 0
+        assert message["op"] == "notify"
+        assert message["document"]["doc_id"] == 0
+        assert [doc["doc_id"] for doc in results] == [0]
+
+    config = DasEngine.for_method("GIFilter", k=3, block_size=4).config
+    run(scenario(ShardedDasEngine(2, config)))
+    run(scenario(PublishSubscribeService(DasEngine(config))))
+
+
+def test_doc_ids_continue_after_preloaded_history():
+    async def scenario():
+        engine = small_engine()
+        engine.publish(Document.from_tokens(0, ["coffee"], 0.0))
+        engine.publish(Document.from_tokens(1, ["tea"], 1.0))
+        runtime = ServerRuntime(engine, ServerConfig())
+        await runtime.start()
+        client = InProcessClient(runtime)
+        ack = await client.publish(tokens=["coffee"], created_at=2.0)
+        await runtime.stop()
+        return ack
+
+    assert run(scenario())["doc_id"] == 2

@@ -1,0 +1,133 @@
+"""NDJSON-over-TCP transport integration tests (ephemeral port)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.config import ServerConfig
+from repro.core.engine import DasEngine
+from repro.errors import UnknownQueryError
+from repro.server import NdjsonTcpClient, NdjsonTcpServer, ServerRuntime
+
+
+def run(coroutine, timeout=30.0):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout))
+
+
+async def start_stack(**config_overrides):
+    defaults = dict(outbound_capacity=256, drain_timeout=5.0, port=0)
+    defaults.update(config_overrides)
+    runtime = ServerRuntime(
+        DasEngine.for_method("GIFilter", k=3, block_size=4, backend="python"),
+        ServerConfig(**defaults),
+    )
+    await runtime.start()
+    server = NdjsonTcpServer(runtime)
+    host, port = await server.start()
+    return runtime, server, host, port
+
+
+def test_full_session_over_tcp():
+    async def scenario():
+        runtime, server, host, port = await start_stack()
+        subscriber = await NdjsonTcpClient.connect(host, port)
+        publisher = await NdjsonTcpClient.connect(host, port)
+
+        reply = await subscriber.subscribe(["coffee", "espresso"])
+        query_id = reply["query_id"]
+        assert reply["initial"] == []
+
+        ack = await publisher.publish(
+            tokens=["coffee", "downtown"], created_at=1.0
+        )
+        assert ack == {
+            "ok": True, "reply_to": 0, "doc_id": 0, "created_at": 1.0,
+        }
+        note = await subscriber.next_message(timeout=5.0)
+        assert note["op"] == "notify"
+        assert note["query_id"] == query_id
+        assert note["document"]["tf"] == {"coffee": 1, "downtown": 1}
+
+        # Text publishing tokenises server-side (stopwords removed).
+        await publisher.publish(text="the espresso machine", created_at=2.0)
+        note = await subscriber.next_message(timeout=5.0)
+        assert note["document"]["text"] == "the espresso machine"
+        assert "the" not in note["document"]["tf"]
+
+        results = await subscriber.results(query_id)
+        assert [doc["doc_id"] for doc in results] == [1, 0]
+
+        stats = await publisher.stats()
+        assert stats["accepted"] == 2
+        assert stats["state"] == "running"
+        assert len(stats["sessions"]) == 2
+
+        await subscriber.unsubscribe(query_id)
+        assert runtime.engine.query_count == 0
+
+        await subscriber.close()
+        await publisher.close()
+        await server.stop()
+        await runtime.stop()
+
+    run(scenario())
+
+
+def test_structured_and_protocol_errors_over_tcp():
+    async def scenario():
+        runtime, server, host, port = await start_stack()
+        client = await NdjsonTcpClient.connect(host, port)
+
+        with pytest.raises(UnknownQueryError):
+            await client.request({"op": "results", "query_id": 404})
+
+        # A malformed line must produce an error reply, not kill the
+        # connection: the next valid request still succeeds.
+        await client.send_raw(b"this is not json\n")
+        reply = await client.publish(tokens=["coffee"], created_at=1.0)
+        assert reply["doc_id"] == 0
+
+        await client.close()
+        await server.stop()
+        await runtime.stop()
+
+    run(scenario())
+
+
+def test_subscriber_notified_of_server_shutdown():
+    async def scenario():
+        runtime, server, host, port = await start_stack()
+        client = await NdjsonTcpClient.connect(host, port)
+        await client.subscribe(["coffee"])
+        await client.publish(tokens=["coffee"], created_at=1.0)
+        note = await client.next_message(timeout=5.0)
+        assert note["op"] == "notify"
+        await runtime.stop()  # drains, then closes every session
+        closed = await client.next_message(timeout=5.0)
+        assert closed == {"op": "closed", "reason": "shutdown"}
+        await client.close()
+        await server.stop()
+
+    run(scenario())
+
+
+def test_disconnecting_client_releases_its_queries():
+    async def scenario():
+        runtime, server, host, port = await start_stack()
+        client = await NdjsonTcpClient.connect(host, port)
+        await client.subscribe(["coffee"])
+        await client.subscribe(["tea"])
+        assert runtime.engine.query_count == 2
+        await client.close()  # drop the connection, no unsubscribe calls
+        for _ in range(50):  # teardown is asynchronous
+            if runtime.engine.query_count == 0:
+                break
+            await asyncio.sleep(0.05)
+        assert runtime.engine.query_count == 0
+        assert runtime.stats()["sessions"] == []
+        await server.stop()
+        await runtime.stop()
+
+    run(scenario())
