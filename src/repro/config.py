@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
 from repro.errors import ConfigurationError
 
 #: Sentinel for "no memory budget" on aggregated term weight summaries.
@@ -193,6 +195,23 @@ class ServerConfig:
     #: Bind port of the NDJSON TCP transport (0 = ephemeral).
     port: int = 8765
 
+    # --- Deterministic-simulation hooks (see repro.simulation) ---
+    #: Wall-clock stand-in for default publish timestamps.  ``None``
+    #: uses ``time.time``; the simulation harness passes a
+    #: :class:`~repro.simulation.clock.SimulatedClock` so accepted
+    #: timestamps are a pure function of the op schedule.
+    time_source: Optional[Callable[[], float]] = None
+    #: Run engine calls inline on the event loop instead of the
+    #: one-thread executor.  Removes the only cross-thread handoff in
+    #: the runtime, making async interleavings deterministic; costs
+    #: event-loop latency while a batch matches, so production keeps
+    #: the executor (False).
+    inline_matcher: bool = False
+    #: Fault-injection hook (:class:`repro.simulation.faults.FaultInjector`
+    #: or anything with a ``fire(point)`` method).  ``None`` disables
+    #: every injection point at the cost of one attribute check.
+    fault_injector: Optional[object] = None
+
     def __post_init__(self) -> None:
         if self.ingest_capacity < 1:
             raise ConfigurationError(
@@ -218,6 +237,14 @@ class ServerConfig:
         if not 0 <= self.port <= 65535:
             raise ConfigurationError(
                 f"port must be in [0, 65535], got {self.port}"
+            )
+        if self.time_source is not None and not callable(self.time_source):
+            raise ConfigurationError("time_source must be callable or None")
+        if self.fault_injector is not None and not callable(
+            getattr(self.fault_injector, "fire", None)
+        ):
+            raise ConfigurationError(
+                "fault_injector must expose a fire(point) method"
             )
 
     def evolve(self, **changes: object) -> "ServerConfig":

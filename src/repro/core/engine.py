@@ -177,6 +177,15 @@ class DasEngine:
         result_set = self._result_set_of(query_id)
         return result_set.documents_newest_first()
 
+    def iter_term_blocks(self):
+        """Every (term, block) pair of the query inverted file.
+
+        Read-only view for invariant checkers (the simulation harness
+        audits the Section 5/6 filtering bounds against it); callers
+        must not mutate the blocks.
+        """
+        return self._index.items()
+
     def current_dr(self, query_id: int) -> float:
         """Reference ``DR(q.R)`` of the live result set (Eq. 1)."""
         query = self._query_of(query_id)

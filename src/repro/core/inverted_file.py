@@ -138,3 +138,13 @@ class QueryInvertedFile:
 
     def terms(self) -> Iterable[str]:
         return self._lists.keys()
+
+    def items(self) -> Iterator[Tuple[str, PostingsBlock]]:
+        """Every (term, block) pair, term-major in insertion order.
+
+        Read-only traversal for invariant checkers and diagnostics;
+        callers must not mutate block metadata.
+        """
+        for term, postings in self._lists.items():
+            for block in postings:
+                yield term, block

@@ -58,5 +58,14 @@ class ProtocolError(ReproError):
     """A transport request is malformed (bad JSON, unknown op, bad field)."""
 
 
+class InjectedFaultError(ReproError):
+    """A deterministic fault fired by the simulation harness.
+
+    Raised at the injection points of :mod:`repro.simulation.faults`;
+    production code treats it like any other :class:`ReproError` (the
+    point of the harness is that nothing special-cases it).
+    """
+
+
 class ServerClosedError(ReproError):
     """The serving runtime is draining or stopped and rejects new work."""

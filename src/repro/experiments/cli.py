@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments.cli run fig6 fig10
     python -m repro.experiments.cli run all --scale tiny --out results/
     python -m repro.experiments.cli serve --port 8765 --method GIFilter
+    python -m repro.experiments.cli simulate --seed 42
+    python -m repro.experiments.cli simulate --seed 7 --plan 'engine.doc@5:raise'
 """
 
 from __future__ import annotations
@@ -143,6 +145,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="cap on the adaptive micro-batch size (default: 64)",
     )
+
+    simulate = commands.add_parser(
+        "simulate",
+        help="run the deterministic fault-injection harness",
+        description=(
+            "Run seeded chaos simulations against the serving runtime with "
+            "per-op invariant checking (result-set size, Lemma 1 replacement "
+            "ordering, filtering-bound soundness, oracle equivalence, "
+            "crash-recovery replay).  Output is a JSON report that is "
+            "byte-for-byte identical across invocations with the same "
+            "arguments."
+        ),
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default: 0)"
+    )
+    simulate.add_argument(
+        "--ops",
+        type=int,
+        default=80,
+        help="operations per scenario (default: 80)",
+    )
+    simulate.add_argument(
+        "--plan",
+        default=None,
+        help=(
+            "run one scenario with this fault plan instead of the default "
+            "suite, e.g. 'engine.doc@5:raise; consumer.pull@2:stall(4)'"
+        ),
+    )
+    simulate.add_argument(
+        "--report",
+        default=None,
+        help="also write the JSON report to this path",
+    )
     return parser
 
 
@@ -192,6 +229,29 @@ def run_serve(args) -> int:
     return 0
 
 
+def run_simulate(args) -> int:
+    """Run the fault-injection harness; exit non-zero on any violation."""
+    import json
+
+    from repro.simulation import SimulationHarness, run_default_suite
+
+    if args.plan is not None:
+        report = SimulationHarness(
+            args.seed, ops=args.ops, fault_plan=args.plan
+        ).run()
+    else:
+        report = run_default_suite(args.seed, ops=args.ops)
+    text = json.dumps(report, sort_keys=True, indent=2)
+    print(text)
+    if args.report:
+        directory = os.path.dirname(args.report)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.report, "w") as handle:
+            handle.write(text + "\n")
+    return 0 if report["ok"] else 1
+
+
 def run_figures(
     keys: Sequence[str], scale: str, out_dir: str = None
 ) -> List[str]:
@@ -238,6 +298,8 @@ def main(argv: Sequence[str] = None) -> int:
         return 0
     if args.command == "serve":
         return run_serve(args)
+    if args.command == "simulate":
+        return run_simulate(args)
     run_figures(args.figures, args.scale, args.out)
     return 0
 

@@ -3,9 +3,19 @@
 from repro.persistence.checkpoint import (
     CHECKPOINT_VERSION,
     checkpoint,
+    checkpoint_sharded,
     load,
     restore,
+    restore_sharded,
     save,
 )
 
-__all__ = ["CHECKPOINT_VERSION", "checkpoint", "load", "restore", "save"]
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "checkpoint",
+    "checkpoint_sharded",
+    "load",
+    "restore",
+    "restore_sharded",
+    "save",
+]

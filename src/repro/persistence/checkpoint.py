@@ -17,12 +17,14 @@ the original: same results, same thresholds, same future decisions
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+import os
+from typing import Dict, List, Optional, Union
 
 from repro.config import EngineConfig, GroupBoundMode
 from repro.core.engine import DasEngine
 from repro.core.query import DasQuery
 from repro.core.result_set import ResultEntry
+from repro.distributed.sharded import ShardedDasEngine
 from repro.stream.document import Document
 from repro.text.vectors import TermVector
 
@@ -185,13 +187,84 @@ def _restore_query(engine: DasEngine, query: DasQuery, rows: List[Dict]) -> None
     engine.counters.queries_subscribed += 1
 
 
-def save(engine: DasEngine, path: str) -> None:
-    """Checkpoint the engine to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(checkpoint(engine), handle)
+def checkpoint_sharded(engine: ShardedDasEngine) -> Dict:
+    """Capture a sharded engine: per-shard checkpoints plus routing state.
+
+    The routing table and round-robin cursor are part of the logical
+    state — without them a restored engine would route new queries
+    differently from the original.
+    """
+    return {
+        "version": CHECKPOINT_VERSION,
+        "sharded": True,
+        "routing": engine.routing,
+        "assignment": {
+            str(query_id): shard
+            for query_id, shard in sorted(engine._assignment.items())
+        },
+        "next_round_robin": engine._next_round_robin,
+        "shards": [checkpoint(shard) for shard in engine.shards],
+    }
 
 
-def load(path: str) -> DasEngine:
+def restore_sharded(payload: Dict) -> ShardedDasEngine:
+    """Rebuild a sharded engine from a :func:`checkpoint_sharded` dict."""
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {version!r} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    restored = [restore(shard) for shard in payload["shards"]]
+    shards = iter(restored)
+    engine = ShardedDasEngine(
+        len(restored),
+        routing=payload["routing"],
+        engine_factory=lambda: next(shards),
+    )
+    engine._assignment = {
+        int(query_id): int(shard)
+        for query_id, shard in payload["assignment"].items()
+    }
+    engine._next_round_robin = int(payload["next_round_robin"])
+    return engine
+
+
+def save(
+    engine: Union[DasEngine, ShardedDasEngine],
+    path: str,
+    injector: Optional[object] = None,
+) -> None:
+    """Checkpoint the engine to a JSON file, atomically.
+
+    The payload is written to a sibling temp file and moved into place
+    with ``os.replace``, so a crash mid-write (simulated through the
+    ``checkpoint.write`` injection point of ``injector``) leaves any
+    previous checkpoint at ``path`` intact.  A ``torn`` fault leaves a
+    truncated temp file behind — never a truncated checkpoint.
+    """
+    if isinstance(engine, ShardedDasEngine):
+        payload = checkpoint_sharded(engine)
+    else:
+        payload = checkpoint(engine)
+    data = json.dumps(payload)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as handle:
+        if injector is not None:
+            try:
+                injector.fire("checkpoint.write")
+            except Exception as exc:
+                if getattr(exc, "action", "") == "torn":
+                    handle.write(data[: len(data) // 2])
+                raise
+        handle.write(data)
+    os.replace(tmp_path, path)
+
+
+def load(path: str) -> Union[DasEngine, ShardedDasEngine]:
     """Restore an engine from a JSON checkpoint file."""
     with open(path) as handle:
-        return restore(json.load(handle))
+        payload = json.load(handle)
+    if payload.get("sharded"):
+        return restore_sharded(payload)
+    return restore(payload)

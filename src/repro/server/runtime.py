@@ -164,6 +164,8 @@ class ServerRuntime:
         self._facade = EngineFacade(engine)
         self._config = config if config is not None else ServerConfig()
         self._batcher = AdaptiveBatcher(self._config.max_batch_size)
+        self._now = self._config.time_source or time.time
+        self._injector = self._config.fault_injector
         self._state = "new"
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._ingest: Optional[asyncio.Queue] = None
@@ -178,6 +180,10 @@ class ServerRuntime:
         self._accepted = 0
         self._published = 0
         self._disconnects = 0
+        self._matcher_errors = 0
+        self._delivery_errors = 0
+        self._failed_on_stop = 0
+        self._unflushed = 0
         self._retired_drops = {policy: 0 for policy in SLOW_CONSUMER_POLICIES}
         self._retired_coalesced = 0
 
@@ -202,9 +208,10 @@ class ServerRuntime:
             raise ServerClosedError(f"runtime already {self._state}")
         self._loop = asyncio.get_running_loop()
         self._ingest = asyncio.Queue(self._config.ingest_capacity)
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-matcher"
-        )
+        if not self._config.inline_matcher:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-matcher"
+            )
         self._next_doc_id = self._facade.doc_id_floor()
         self._last_created_at = self._facade.clock_now()
         self._matcher_task = asyncio.create_task(self._matcher_loop())
@@ -236,31 +243,47 @@ class ServerRuntime:
                 self._matcher_task.cancel()
                 with suppress(asyncio.CancelledError):
                     await self._matcher_task
+            except Exception:
+                # A crashed matcher must not abort shutdown: everything it
+                # never processed is failed below via _fail_pending.
+                self._matcher_errors += 1
             for session in list(self._sessions.values()):
                 remaining = deadline - self._loop.time()
                 if remaining > 0 and not session.closed:
                     await session.drain(remaining)
         else:
             self._matcher_task.cancel()
-            with suppress(asyncio.CancelledError):
+            with suppress(asyncio.CancelledError, Exception):
                 await self._matcher_task
         for session in list(self._sessions.values()):
+            self._unflushed += session.depth
             await session.close("shutdown")
             self._remove_session(session)
-        self._fail_pending(ServerClosedError("server stopped"))
-        self._executor.shutdown(wait=True)
+        self._failed_on_stop += self._fail_pending(
+            ServerClosedError("server stopped")
+        )
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
         self._state = "stopped"
 
-    def _fail_pending(self, exc: Exception) -> None:
-        """Fail futures of items the cancelled matcher never processed."""
+    def _fail_pending(self, exc: Exception) -> int:
+        """Fail futures of items the matcher never processed.
+
+        Returns how many submissions were failed, so ``stop`` can report
+        lost-on-shutdown work instead of silently dropping it (the drain
+        contract is *flush or report*).
+        """
         leftovers = list(self._inflight)
         self._inflight.clear()
         while self._ingest is not None and not self._ingest.empty():
             leftovers.append(self._ingest.get_nowait())
+        failed = 0
         for item in leftovers:
             future = getattr(item, "future", None)
             if future is not None and not future.done():
                 future.set_exception(exc)
+                failed += 1
+        return failed
 
     # -- session management ------------------------------------------------
 
@@ -345,6 +368,8 @@ class ServerRuntime:
         if tokens is None and text is None:
             raise ReproError("publish requires tokens or text")
         self._require_running("publish")
+        if self._injector is not None:
+            self._injector.fire("ingest.put")
         future = self._loop.create_future()
         await self._ingest.put(
             _PublishItem(tokens, text, created_at, future)
@@ -374,6 +399,10 @@ class ServerRuntime:
             "policy_drops": drops,
             "coalesced": coalesced,
             "disconnects": self._disconnects,
+            "matcher_errors": self._matcher_errors,
+            "delivery_errors": self._delivery_errors,
+            "failed_on_stop": self._failed_on_stop,
+            "unflushed": self._unflushed,
             "counters": self._facade.counters().as_dict(),
         }
 
@@ -422,6 +451,17 @@ class ServerRuntime:
 
     # -- matcher ----------------------------------------------------------
 
+    async def _call_engine(self, fn, *args):
+        """Run an engine call off-loop, or inline when so configured.
+
+        ``inline_matcher`` removes the runtime's only cross-thread
+        handoff, which makes the accepted interleaving a pure function
+        of the submission order (the simulation harness relies on this).
+        """
+        if self._executor is None:
+            return fn(*args)
+        return await self._loop.run_in_executor(self._executor, fn, *args)
+
     async def _matcher_loop(self) -> None:
         while True:
             item = await self._ingest.get()
@@ -442,7 +482,16 @@ class ServerRuntime:
                         held = nxt
                         break
                 self._inflight = list(batch)
-                await self._run_publish_batch(batch)
+                try:
+                    await self._run_publish_batch(batch)
+                except Exception as exc:
+                    # One poisoned batch must not kill the matcher (and
+                    # with it every queued future): fail this batch's
+                    # futures and keep serving.
+                    self._matcher_errors += 1
+                    for failed in batch:
+                        if not failed.future.done():
+                            failed.future.set_exception(exc)
                 self._inflight.clear()
                 self._batcher.record(len(batch), self._ingest.qsize())
             else:
@@ -457,8 +506,8 @@ class ServerRuntime:
     async def _run_control(self, item: _ControlItem) -> None:
         try:
             if item.kind == "subscribe":
-                query_id, initial = await self._loop.run_in_executor(
-                    self._executor, self._facade.subscribe, item.args
+                query_id, initial = await self._call_engine(
+                    self._facade.subscribe, item.args
                 )
                 self._owners[query_id] = item.session
                 if item.session is not None:
@@ -471,16 +520,16 @@ class ServerRuntime:
                     raise UnknownQueryError(
                         f"query {query_id} is not owned by this session"
                     )
-                await self._loop.run_in_executor(
-                    self._executor, self._facade.unsubscribe, query_id
-                )
+                await self._call_engine(self._facade.unsubscribe, query_id)
                 self._owners.pop(query_id, None)
                 if owner is not None:
                     owner.queries.discard(query_id)
                 result = None
             elif item.kind == "results":
-                result = await self._loop.run_in_executor(
-                    self._executor, self._facade.results, item.args
+                if self._injector is not None:
+                    self._injector.fire("engine.results")
+                result = await self._call_engine(
+                    self._facade.results, item.args
                 )
             elif item.kind == "retire":
                 await self._retire_queries(item.session)
@@ -502,7 +551,7 @@ class ServerRuntime:
             if item.created_at is not None:
                 timestamp = max(float(item.created_at), self._last_created_at)
             else:
-                timestamp = max(time.time(), self._last_created_at)
+                timestamp = max(self._now(), self._last_created_at)
             self._last_created_at = timestamp
             prepared.append((item, doc_id, timestamp))
             self._accepted += 1
@@ -528,16 +577,24 @@ class ServerRuntime:
             return documents, self._facade.publish_batch(documents)
 
         try:
-            documents, notifications = await self._loop.run_in_executor(
-                self._executor, _build_and_publish
+            if self._injector is not None:
+                self._injector.fire("engine.publish_batch")
+            documents, notifications = await self._call_engine(
+                _build_and_publish
             )
         except Exception as exc:
+            self._matcher_errors += 1
             for publish_item, _doc_id, _timestamp in prepared:
                 if not publish_item.future.done():
                     publish_item.future.set_exception(exc)
             return
         self._published += len(documents)
-        await self._route(notifications)
+        try:
+            await self._route(notifications)
+        except Exception:
+            # Delivery failures must not fail the publish acks: the
+            # documents *are* in the engine.  Count and move on.
+            self._delivery_errors += 1
         for publish_item, doc_id, timestamp in prepared:
             if not publish_item.future.done():
                 publish_item.future.set_result(
@@ -572,8 +629,10 @@ class ServerRuntime:
             for query_id in query_ids:
                 if self._owners.get(query_id) is not session:
                     continue
-                documents = await self._loop.run_in_executor(
-                    self._executor, self._facade.results, query_id
+                if self._injector is not None:
+                    self._injector.fire("engine.results")
+                documents = await self._call_engine(
+                    self._facade.results, query_id
                 )
                 delivered = await session.offer(
                     snapshot_payload(query_id, documents), query_id
@@ -595,8 +654,8 @@ class ServerRuntime:
         for query_id in list(session.queries):
             if self._owners.get(query_id) is session:
                 try:
-                    await self._loop.run_in_executor(
-                        self._executor, self._facade.unsubscribe, query_id
+                    await self._call_engine(
+                        self._facade.unsubscribe, query_id
                     )
                 except ReproError:
                     pass

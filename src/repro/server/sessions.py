@@ -61,6 +61,10 @@ class SubscriberSession:
         self.closed = False
         self.close_reason: Optional[str] = None
         self._close_delivered = False
+        #: Simulation hook: a stalled session stops pulling messages, so
+        #: its queue fills and the slow-consumer policy kicks in.  The
+        #: matcher side (:meth:`offer`) is unaffected.
+        self.stalled = False
         # -- exact accounting ------------------------------------------
         self.enqueued = 0
         self.delivered = 0
@@ -126,7 +130,7 @@ class SubscriberSession:
         ``None`` forever.
         """
         async with self._cond:
-            while not self._items and not self.closed:
+            while not self.closed and (self.stalled or not self._items):
                 await self._cond.wait()
             if self._items:
                 entry = self._items.popleft()
@@ -154,6 +158,13 @@ class SubscriberSession:
         async with self._cond:
             if not self.closed:
                 self._close_locked(reason)
+
+    async def set_stalled(self, stalled: bool) -> None:
+        """Simulate a consumer stall (True) or wake it back up (False)."""
+        async with self._cond:
+            self.stalled = stalled
+            if not stalled:
+                self._cond.notify_all()
 
     async def drain(self, timeout: float) -> bool:
         """Wait until the consumer emptied the queue; False on timeout."""
@@ -188,6 +199,7 @@ class SubscriberSession:
             "coalesced": self.coalesced,
             "closed": self.closed,
             "close_reason": self.close_reason,
+            "stalled": self.stalled,
         }
 
     def __repr__(self) -> str:

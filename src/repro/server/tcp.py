@@ -19,7 +19,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ProtocolError
+from repro.errors import InjectedFaultError, ProtocolError
 from repro.server.protocol import (
     decode_line,
     encode_line,
@@ -86,6 +86,39 @@ class NdjsonTcpServer:
 
     # -- connection handling ----------------------------------------------
 
+    async def _write_frame(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: Dict[str, Any],
+    ) -> bool:
+        """Write one NDJSON frame; False ends the caller's loop.
+
+        The ``tcp.write`` injection point simulates a connection lost
+        mid-frame: a ``torn`` fault flushes only half the frame before
+        closing, any other injected fault closes without writing.
+        """
+        data = encode_line(payload)
+        injector = self._runtime.config.fault_injector
+        if injector is not None:
+            try:
+                injector.fire("tcp.write")
+            except InjectedFaultError as exc:
+                async with write_lock:
+                    with _suppress_all():
+                        if getattr(exc, "action", "") == "torn":
+                            writer.write(data[: len(data) // 2])
+                            await writer.drain()
+                        writer.close()
+                return False
+        try:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+        except ConnectionError:
+            return False
+        return True
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -132,11 +165,7 @@ class NdjsonTcpServer:
                     reply = await self._runtime.handle_request(
                         session, payload
                     )
-                try:
-                    async with write_lock:
-                        writer.write(encode_line(reply))
-                        await writer.drain()
-                except ConnectionError:
+                if not await self._write_frame(writer, write_lock, reply):
                     break
         finally:
             try:
@@ -162,11 +191,7 @@ class NdjsonTcpServer:
             message = await session.next_message()
             if message is None:
                 break
-            try:
-                async with write_lock:
-                    writer.write(encode_line(message))
-                    await writer.drain()
-            except ConnectionError:
+            if not await self._write_frame(writer, write_lock, message):
                 break
 
 

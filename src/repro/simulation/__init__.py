@@ -1,0 +1,48 @@
+"""Deterministic fault-injection and invariant-checking harness.
+
+Wraps the serving runtime (:mod:`repro.server`) and the DAS engine in a
+seeded simulation: reproducible async interleavings via
+:class:`SimulatedClock` + ``ServerConfig.inline_matcher``, fault
+injection via the :class:`FaultPlan` DSL, and per-op auditing of the
+paper's invariants via :class:`InvariantMonitor`.  See DESIGN.md §9.
+"""
+
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    HARNESS_ACTIONS,
+    INJECTION_POINTS,
+    RAISING_ACTIONS,
+)
+from repro.simulation.harness import (
+    SimulationHarness,
+    default_engine_config,
+    generate_random_plan,
+    generate_schedule,
+    run_default_suite,
+)
+from repro.simulation.invariants import (
+    InstrumentedEngine,
+    InvariantMonitor,
+    InvariantViolation,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "HARNESS_ACTIONS",
+    "INJECTION_POINTS",
+    "InstrumentedEngine",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "RAISING_ACTIONS",
+    "SimulatedClock",
+    "SimulationHarness",
+    "default_engine_config",
+    "generate_random_plan",
+    "generate_schedule",
+    "run_default_suite",
+]

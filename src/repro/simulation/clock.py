@@ -1,0 +1,58 @@
+"""Simulated wall clock for deterministic serving-runtime runs.
+
+The serving runtime's only wall-clock dependence is the default publish
+timestamp (``ServerConfig.time_source``).  Substituting this clock makes
+every accepted ``created_at`` — and therefore every decay factor and
+every replacement decision — a pure function of the op schedule, which
+is what lets a seeded simulation run reproduce byte-for-byte.
+
+Distinct from :class:`repro.stream.clock.SimulationClock`: that one is
+the *engine's* notion of stream time (advanced by published documents);
+this one stands in for ``time.time`` at the serving layer and is
+advanced explicitly by the simulation driver.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A callable clock that advances only when told to."""
+
+    __slots__ = ("_now", "_step")
+
+    def __init__(self, start: float = 1000.0, step: float = 1.0) -> None:
+        self._now = float(start)
+        self._step = float(step)
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def tick(self, steps: int = 1) -> float:
+        """Advance by ``steps`` steps; returns the new time."""
+        self._now += steps * self._step
+        return self._now
+
+    def advance_to(self, value: float) -> float:
+        if value < self._now:
+            raise ValueError(
+                f"cannot move the clock backwards ({value} < {self._now})"
+            )
+        self._now = float(value)
+        return self._now
+
+    # -- crash-recovery support -------------------------------------------
+
+    def snapshot(self) -> float:
+        """Opaque state for :meth:`restore` (taken at checkpoint time)."""
+        return self._now
+
+    def restore(self, state: float) -> None:
+        """Rewind to a :meth:`snapshot` value (crash-recovery replay)."""
+        self._now = float(state)
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now}, step={self._step})"

@@ -1,0 +1,383 @@
+"""Invariant monitor + instrumented engine for the simulation harness.
+
+The monitor audits the paper's correctness obligations after every
+accepted operation:
+
+``size``
+    ``|q.R| <= k`` for every live result set, entries in stream order
+    (Definition 2 caps the result size; ids are assigned by creation
+    time, Definition 1, so entries must be oldest-first).
+``lemma1``
+    Every replacement strictly improved the diversity-aware relevance:
+    ``dr_q(d_n) > dr_q(q.d_e)`` (Lemma 1 reduces the Def. 3 comparison
+    to exactly this), reconstructed post-hoc from the result table's
+    accumulated-similarity deltas.
+``bounds``
+    ``FT̃_b`` (Eq. 12, Lemma 2) never exceeds the exact minimum
+    threshold of the block's filled members — the soundness direction
+    that makes group filtering skip-safe.
+``oracle``
+    Result sets equal the :class:`~repro.baselines.naive.NaiveEngine`
+    fed the same ops — the end-to-end guarantee that no bound
+    (``FT̃_b``, ``TRel̃_max``, ``Sim̃_min``) ever wrongly skipped a
+    delivery.  Exact equality holds under ``GroupBoundMode.STRICT``
+    (the default; see DESIGN.md §2).
+
+:class:`InstrumentedEngine` wraps a :class:`DasEngine` so the monitor
+sees every document individually (mid-batch) and the ``engine.doc``
+injection point can abort a batch halfway through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.naive import NaiveEngine
+from repro.core.engine import DasEngine
+from repro.core.events import Notification
+from repro.core.filtering import TIE_EPSILON, block_threshold_lower_bound
+from repro.core.query import DasQuery
+from repro.scoring.diversity import diversity_coefficient
+from repro.stream.document import Document
+
+_NEG_INF = float("-inf")
+
+
+class InvariantViolation:
+    """One failed invariant check."""
+
+    __slots__ = ("name", "op_index", "detail")
+
+    def __init__(self, name: str, op_index: int, detail: str) -> None:
+        self.name = name
+        self.op_index = op_index
+        self.detail = detail
+
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "op_index": self.op_index,
+            "detail": self.detail,
+        }
+
+    def __repr__(self) -> str:
+        return f"InvariantViolation({self.name}@op{self.op_index}: {self.detail})"
+
+
+class InvariantMonitor:
+    """Checks the paper's invariants against a live :class:`DasEngine`."""
+
+    def __init__(
+        self,
+        engine: DasEngine,
+        with_oracle: bool = True,
+        tolerance: float = 1e-6,
+    ) -> None:
+        self._engine = engine
+        self._oracle: Optional[NaiveEngine] = (
+            NaiveEngine(engine.config) if with_oracle else None
+        )
+        self._tolerance = tolerance
+        #: Per-full-query pre-publish snapshot for the Lemma 1 check.
+        self._pre: Dict[int, tuple] = {}
+        #: Index of the schedule op being executed (set by the driver).
+        self.op_index = -1
+        self.violations: List[InvariantViolation] = []
+        self.checks: Dict[str, int] = {
+            "size": 0,
+            "lemma1": 0,
+            "bounds": 0,
+            "oracle": 0,
+        }
+
+    @property
+    def oracle(self) -> Optional[NaiveEngine]:
+        return self._oracle
+
+    def rebind(self, engine: DasEngine) -> None:
+        """Point the monitor at a restored engine (crash-recovery replay).
+
+        The per-op oracle cannot be rewound to a checkpoint, so replay
+        runs must be created with ``with_oracle=False``; their
+        correctness check is final-state equality against an unfailed
+        reference run (see the harness).
+        """
+        if self._oracle is not None:
+            raise ValueError(
+                "cannot rebind a monitor with a live oracle; crash "
+                "scenarios must run with with_oracle=False"
+            )
+        self._engine = engine
+        self._pre.clear()
+
+    def _record(self, name: str, detail: str) -> None:
+        self.violations.append(
+            InvariantViolation(name, self.op_index, detail)
+        )
+
+    # -- per-document hooks (called by InstrumentedEngine) ------------------
+
+    def before_publish(self, document: Document) -> None:
+        """Snapshot the replacement-relevant state of every full query.
+
+        Cheap (no scoring): stores the oldest entry's cached values and
+        each entry's accumulated similarity so :meth:`after_publish` can
+        reconstruct both sides of the Lemma 1 comparison from deltas.
+        """
+        self._pre = {}
+        for query_id, result_set in self._engine._result_sets.items():
+            if not result_set.is_full:
+                continue
+            head = result_set.entries[0]
+            self._pre[query_id] = (
+                head.document.doc_id,
+                head.trel,
+                head.sim_acc,
+                len(result_set.entries) - 1,
+                head.document.created_at,
+                {
+                    entry.document.doc_id: entry.sim_acc
+                    for entry in result_set.entries
+                },
+            )
+
+    def after_publish(
+        self, document: Document, notifications: Sequence[Notification]
+    ) -> None:
+        """Verify Lemma 1 for every replacement, then mirror the oracle."""
+        config = self._engine.config
+        now = self._engine.clock.now
+        coeff = diversity_coefficient(config.alpha, config.k)
+        for notification in notifications:
+            if notification.replaced is None:
+                continue
+            self.checks["lemma1"] += 1
+            pre = self._pre.get(notification.query_id)
+            if pre is None:
+                self._record(
+                    "lemma1",
+                    f"q{notification.query_id} replaced while not full "
+                    f"on doc {document.doc_id}",
+                )
+                continue
+            old_id, old_trel, old_sim, pairs, old_created, sim_map = pre
+            if notification.replaced.doc_id != old_id:
+                self._record(
+                    "lemma1",
+                    f"q{notification.query_id} evicted doc "
+                    f"{notification.replaced.doc_id}, expected oldest "
+                    f"{old_id}",
+                )
+                continue
+            result_set = self._engine._result_sets.get(
+                notification.query_id
+            )
+            if result_set is None or not result_set.entries:
+                continue
+            new_entry = result_set.entries[-1]
+            if new_entry.document.doc_id != document.doc_id:
+                self._record(
+                    "lemma1",
+                    f"q{notification.query_id} newest entry is doc "
+                    f"{new_entry.document.doc_id}, expected "
+                    f"{document.doc_id}",
+                )
+                continue
+            # Each kept entry's accumulated similarity grew by exactly
+            # Sim(entry, d_n) (Eq. 24 maintenance), so the deltas sum to
+            # the similarity mass the engine traded off in dr_q(d_n).
+            sim_sum = sum(
+                entry.sim_acc
+                - sim_map.get(entry.document.doc_id, entry.sim_acc)
+                for entry in result_set.entries[:-1]
+            )
+            dr_new = config.alpha * new_entry.trel + coeff * (
+                (config.k - 1) - sim_sum
+            )
+            recency = self._engine.decay.at(old_created, now)
+            dr_old = config.alpha * old_trel * recency + coeff * (
+                pairs - old_sim
+            )
+            if dr_new <= dr_old + TIE_EPSILON - self._tolerance:
+                self._record(
+                    "lemma1",
+                    f"q{notification.query_id} replacement on doc "
+                    f"{document.doc_id}: dr_new={dr_new:.9f} does not "
+                    f"strictly improve dr_oldest={dr_old:.9f}",
+                )
+        self._pre = {}
+        if self._oracle is not None:
+            self._oracle.publish(document)
+
+    def after_subscribe(
+        self, query: DasQuery, initial: Sequence[Document]
+    ) -> None:
+        if self._oracle is None:
+            return
+        oracle_initial = self._oracle.subscribe(query)
+        mine = [doc.doc_id for doc in initial]
+        theirs = [doc.doc_id for doc in oracle_initial]
+        if mine != theirs:
+            self._record(
+                "oracle",
+                f"q{query.query_id} initial results {mine} != oracle "
+                f"{theirs}",
+            )
+
+    def after_unsubscribe(self, query_id: int) -> None:
+        if self._oracle is not None:
+            self._oracle.unsubscribe(query_id)
+
+    # -- whole-state audits -------------------------------------------------
+
+    def check_all(self) -> None:
+        self.check_sizes()
+        self.check_bounds()
+        self.check_oracle()
+
+    def check_sizes(self) -> None:
+        """``|q.R| <= k`` and entries in stream (oldest-first) order."""
+        self.checks["size"] += 1
+        k = self._engine.config.k
+        for query_id, result_set in self._engine._result_sets.items():
+            size = len(result_set.entries)
+            if size > k:
+                self._record(
+                    "size", f"q{query_id} holds {size} results, k={k}"
+                )
+            ids = [entry.document.doc_id for entry in result_set.entries]
+            if any(a >= b for a, b in zip(ids, ids[1:])):
+                self._record(
+                    "size", f"q{query_id} entries out of stream order: {ids}"
+                )
+
+    def check_bounds(self) -> None:
+        """``FT̃_b`` must lower-bound the exact filled-member threshold.
+
+        Only blocks with clean metadata are audited — refreshing from the
+        monitor would perturb the engine's own lazy-refresh schedule.
+        ``TRel̃_max`` and ``Sim̃_min`` take the in-flight document as
+        input, so their soundness is covered end-to-end by the oracle
+        check instead.
+        """
+        engine = self._engine
+        if not engine.config.use_blocks:
+            return
+        self.checks["bounds"] += 1
+        now = engine.clock.now
+        alpha = engine.config.alpha
+        decay = engine.decay
+        result_sets = engine._result_sets
+        for term, block in engine.iter_term_blocks():
+            if block.meta_dirty:
+                continue
+            lower = block_threshold_lower_bound(block, decay, now, alpha)
+            if lower == _NEG_INF:
+                continue
+            exact = None
+            for query_id in block.query_ids:
+                result_set = result_sets.get(query_id)
+                if result_set is None or not result_set.is_full:
+                    continue
+                value = result_set.dr_oldest(now, decay, alpha)
+                if exact is None or value < exact:
+                    exact = value
+            if exact is None:
+                self._record(
+                    "bounds",
+                    f"block({term}, ids={list(block.query_ids)}) has "
+                    f"finite FT={lower:.9f} but no filled member",
+                )
+            elif lower > exact + self._tolerance:
+                self._record(
+                    "bounds",
+                    f"block({term}, ids={list(block.query_ids)}) "
+                    f"FT={lower:.9f} exceeds exact threshold "
+                    f"{exact:.9f}",
+                )
+
+    def check_oracle(self) -> None:
+        """Every result set equals the naive engine's, id for id."""
+        if self._oracle is None:
+            return
+        self.checks["oracle"] += 1
+        for query_id in self._engine._queries:
+            mine = [
+                doc.doc_id for doc in self._engine.results(query_id)
+            ]
+            theirs = [
+                doc.doc_id for doc in self._oracle.results(query_id)
+            ]
+            if mine != theirs:
+                self._record(
+                    "oracle",
+                    f"q{query_id} results {mine} != oracle {theirs}",
+                )
+
+
+class InstrumentedEngine:
+    """Engine proxy: per-document monitor hooks + mid-batch faults.
+
+    Decomposes ``publish_batch`` into sequential ``publish`` calls —
+    documented as semantically identical by
+    :meth:`DasEngine.publish_batch` — so the ``engine.doc`` injection
+    point can fail *between* the documents of one batch and the monitor
+    can audit each accepted document individually.  Everything else
+    (``store``, ``clock``, ``counters``, private floors) delegates, so
+    the serving runtime's :class:`~repro.server.runtime.EngineFacade`
+    treats it as a plain engine.
+    """
+
+    def __init__(
+        self,
+        engine: DasEngine,
+        monitor: Optional[InvariantMonitor] = None,
+        injector=None,
+    ) -> None:
+        self._inner = engine
+        self._monitor = monitor
+        self._injector = injector
+
+    @property
+    def inner(self) -> DasEngine:
+        return self._inner
+
+    @property
+    def monitor(self) -> Optional[InvariantMonitor]:
+        return self._monitor
+
+    def subscribe(self, query: DasQuery) -> List[Document]:
+        initial = self._inner.subscribe(query)
+        if self._monitor is not None:
+            self._monitor.after_subscribe(query, initial)
+        return initial
+
+    def unsubscribe(self, query_id: int) -> None:
+        self._inner.unsubscribe(query_id)
+        if self._monitor is not None:
+            self._monitor.after_unsubscribe(query_id)
+
+    def publish(self, document: Document) -> List[Notification]:
+        return self._publish_one(document)
+
+    def publish_batch(self, documents) -> List[Notification]:
+        notifications: List[Notification] = []
+        for document in documents:
+            notifications.extend(self._publish_one(document))
+        return notifications
+
+    def _publish_one(self, document: Document) -> List[Notification]:
+        if self._injector is not None:
+            self._injector.fire("engine.doc")
+        if self._monitor is not None:
+            self._monitor.before_publish(document)
+        notifications = self._inner.publish(document)
+        if self._monitor is not None:
+            self._monitor.after_publish(document, notifications)
+        return notifications
+
+    def results(self, query_id: int) -> List[Document]:
+        return self._inner.results(query_id)
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)

@@ -1,0 +1,189 @@
+"""Malformed-input fuzzing of the NDJSON TCP transport (ISSUE 3, S3).
+
+The contract under attack: any byte sequence a client sends produces
+either a structured ``{"ok": false, "error": ...}`` reply or a clean
+connection close — never a crashed connection task, never a wedged
+server.  After every malformed line the connection (or a fresh one)
+must still serve valid requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ServerConfig
+from repro.core.engine import DasEngine
+from repro.errors import ProtocolError
+from repro.server import NdjsonTcpClient, NdjsonTcpServer, ServerRuntime
+from repro.server.protocol import decode_line
+from repro.server.tcp import MAX_LINE_BYTES
+
+
+def run(coroutine, timeout=30.0):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout))
+
+
+async def start_stack():
+    runtime = ServerRuntime(
+        DasEngine.for_method("GIFilter", k=3, block_size=4, backend="python"),
+        ServerConfig(outbound_capacity=256, drain_timeout=5.0, port=0),
+    )
+    await runtime.start()
+    server = NdjsonTcpServer(runtime)
+    host, port = await server.start()
+    return runtime, server, host, port
+
+
+async def raw_exchange(host, port, lines):
+    """Send raw lines on one connection; collect replies until EOF."""
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=MAX_LINE_BYTES
+    )
+    replies = []
+    try:
+        for line in lines:
+            writer.write(line)
+            await writer.drain()
+            reply = await asyncio.wait_for(reader.readline(), 5.0)
+            if not reply:
+                break
+            replies.append(json.loads(reply))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return replies
+
+
+MALFORMED_LINES = [
+    b'{"op": "sub\n',  # truncated JSON
+    b"[1, 2, 3]\n",  # valid JSON, not an object
+    b"null\n",
+    b'"just a string"\n',
+    b"\xff\xfe\xfd\n",  # invalid UTF-8
+    b'{"op": "fly"}\n',  # unknown op
+    b'{"no_op_at_all": true}\n',
+    b'{"op": "subscribe"}\n',  # missing keywords/text
+    b'{"op": "unsubscribe", "query_id": "xyz"}\n',
+    b'{"op": "results", "query_id": 424242}\n',  # unknown query
+    b'{"op": "publish"}\n',  # nothing to publish
+]
+
+
+def test_malformed_lines_get_structured_error_replies():
+    async def scenario():
+        runtime, server, host, port = await start_stack()
+        try:
+            replies = await raw_exchange(host, port, MALFORMED_LINES)
+            assert len(replies) == len(MALFORMED_LINES)
+            for reply in replies:
+                assert reply["ok"] is False
+                assert "type" in reply["error"]
+                assert "message" in reply["error"]
+            # The same connection pattern still serves valid requests.
+            good = await raw_exchange(
+                host, port, [b'{"op": "stats", "id": 1}\n']
+            )
+            assert good[0]["ok"] is True
+            assert good[0]["reply_to"] == 1
+        finally:
+            await server.stop()
+            await runtime.stop()
+
+    run(scenario())
+
+
+def test_oversized_line_closes_connection_but_not_server():
+    async def scenario():
+        runtime, server, host, port = await start_stack()
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b'{"pad": "' + b"x" * (MAX_LINE_BYTES + 1024))
+            writer.write(b'"}\n')
+            await writer.drain()
+            # The server drops the connection instead of buffering forever.
+            assert await asyncio.wait_for(reader.read(), 10.0) == b""
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            # A fresh connection is served normally.
+            client = await NdjsonTcpClient.connect(host, port)
+            assert (await client.stats())["state"] == "running"
+            await client.close()
+        finally:
+            await server.stop()
+            await runtime.stop()
+
+    run(scenario())
+
+
+def test_seeded_garbage_stream_never_wedges_the_connection():
+    rng = random.Random(1337)
+    garbage = []
+    for _ in range(40):
+        length = rng.randint(1, 60)
+        line = bytes(rng.randrange(256) for _ in range(length))
+        # Keep it one frame: newlines would split into multiple lines.
+        garbage.append(line.replace(b"\n", b"?").replace(b"\r", b"?") + b"\n")
+
+    async def scenario():
+        runtime, server, host, port = await start_stack()
+        try:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=MAX_LINE_BYTES
+            )
+            for line in garbage:
+                writer.write(line)
+                await writer.drain()
+                reply = await asyncio.wait_for(reader.readline(), 5.0)
+                assert reply, "connection died on garbage input"
+                payload = json.loads(reply)
+                assert payload["ok"] is False
+            # Still a perfectly good session afterwards.
+            writer.write(b'{"op": "subscribe", "keywords": ["w"], "id": 9}\n')
+            await writer.drain()
+            reply = json.loads(await asyncio.wait_for(reader.readline(), 5.0))
+            assert reply["ok"] is True and reply["reply_to"] == 9
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            await server.stop()
+            await runtime.stop()
+
+    run(scenario())
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(min_size=0, max_size=200))
+def test_decode_line_is_total(data):
+    """decode_line either returns a dict or raises ProtocolError — no
+    other exception type ever escapes the framing layer."""
+    line = data.replace(b"\n", b" ")
+    try:
+        payload = decode_line(line)
+    except ProtocolError:
+        return
+    assert isinstance(payload, dict)
+
+
+@settings(max_examples=100, deadline=None)
+@given(payload=st.text(max_size=100))
+def test_decode_line_handles_arbitrary_json_strings(payload):
+    line = json.dumps(payload).encode("utf-8")
+    try:
+        decoded = decode_line(line)
+    except ProtocolError:
+        return  # a bare string is not an object: rejected, not crashed
+    assert isinstance(decoded, dict)

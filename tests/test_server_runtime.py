@@ -287,6 +287,86 @@ def test_wraps_sharded_engine_and_service():
     run(scenario(PublishSubscribeService(DasEngine(config))))
 
 
+def test_matcher_survives_a_poisoned_batch():
+    """ISSUE 3 regression (S1): an engine exception mid-batch must fail
+    that batch's acks and nothing else — the matcher keeps serving, and
+    a later graceful stop drains normally."""
+    from repro.errors import InjectedFaultError
+    from repro.simulation import FaultPlan
+
+    async def scenario():
+        runtime = ServerRuntime(
+            small_engine(),
+            ServerConfig(
+                max_batch_size=1,
+                drain_timeout=10.0,
+                fault_injector=FaultPlan.parse(
+                    "engine.publish_batch@2:raise"
+                ).injector(),
+            ),
+        )
+        await runtime.start()
+        subscriber = InProcessClient(runtime)
+        await subscriber.subscribe(["coffee"])
+        first = await runtime.publish(tokens=["coffee", "a"])
+        with pytest.raises(InjectedFaultError):
+            await runtime.publish(tokens=["coffee", "b"])
+        third = await runtime.publish(tokens=["coffee", "c"])
+        delivered = []
+        for _ in range(2):
+            message = await subscriber.next_message(timeout=5.0)
+            delivered.append(message["document"]["doc_id"])
+        stats = runtime.stats()
+        await runtime.stop()
+        return first, third, delivered, stats, runtime
+
+    first, third, delivered, stats, runtime = run(scenario())
+    assert first["doc_id"] == 0
+    assert third["doc_id"] == 2  # the id was spent; the matcher moved on
+    assert delivered == [0, 2]
+    assert stats["matcher_errors"] == 1
+    assert runtime.state == "stopped"
+
+
+def test_stop_reports_documents_lost_to_a_faulted_drain():
+    """ISSUE 3 regression (S1): when the engine raises while stop() is
+    draining, stop must still complete, fail the affected acks instead
+    of hanging them, and report the loss in its stats."""
+    from repro.simulation import FaultPlan
+
+    async def scenario():
+        runtime = ServerRuntime(
+            small_engine(),
+            ServerConfig(
+                ingest_capacity=64,
+                max_batch_size=1,
+                drain_timeout=10.0,
+                fault_injector=FaultPlan.parse(
+                    "engine.publish_batch@3:raise"
+                ).injector(),
+            ),
+        )
+        await runtime.start()
+        subscriber = InProcessClient(runtime)
+        await subscriber.subscribe(["x"])
+        publish_tasks = [
+            asyncio.create_task(runtime.publish(tokens=["x", f"u{i}"]))
+            for i in range(6)
+        ]
+        await asyncio.sleep(0)  # let every put land before the sentinel
+        await runtime.stop()  # graceful drain hits the injected fault
+        acks = await asyncio.gather(*publish_tasks, return_exceptions=True)
+        return acks, runtime.stats()
+
+    acks, stats = run(scenario())
+    failed = [a for a in acks if isinstance(a, BaseException)]
+    succeeded = [a for a in acks if not isinstance(a, BaseException)]
+    assert len(failed) == 1  # exactly the poisoned batch, nothing else
+    assert len(succeeded) == 5
+    assert stats["matcher_errors"] == 1
+    assert stats["state"] == "stopped"
+
+
 def test_doc_ids_continue_after_preloaded_history():
     async def scenario():
         engine = small_engine()

@@ -1,0 +1,171 @@
+"""InvariantMonitor unit tests: green on a correct engine, red on
+tampered state.
+
+The harness-level tests prove the monitor stays quiet on correct runs;
+these prove it would actually *fire* — each invariant family is
+falsified by mutating engine state (or forging a notification) and the
+monitor must record the violation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import DasEngine
+from repro.core.events import Notification
+from repro.core.query import DasQuery
+from repro.simulation import (
+    InstrumentedEngine,
+    InvariantMonitor,
+    default_engine_config,
+)
+from repro.stream.document import Document
+
+VOCAB = ["w", "a", "b", "c"]
+
+
+def make_setup(with_oracle=True):
+    engine = DasEngine(default_engine_config())
+    monitor = InvariantMonitor(engine, with_oracle=with_oracle)
+    instrumented = InstrumentedEngine(engine, monitor)
+    return engine, monitor, instrumented
+
+
+def feed(instrumented, n_docs, start_id=0):
+    for i in range(n_docs):
+        tokens = [VOCAB[i % len(VOCAB)], VOCAB[(i * 2 + 1) % len(VOCAB)], "w"]
+        instrumented.publish(
+            Document.from_tokens(start_id + i, tokens, float(start_id + i))
+        )
+
+
+def test_clean_run_exercises_every_family_without_violations():
+    engine, monitor, instrumented = make_setup()
+    for qid, keywords in enumerate([["w", "a"], ["w", "b"], ["a", "c"]]):
+        instrumented.subscribe(DasQuery(qid, keywords))
+    feed(instrumented, 20)
+    monitor.check_all()
+    assert monitor.violations == []
+    assert monitor.checks["size"] == 1
+    assert monitor.checks["bounds"] == 1
+    assert monitor.checks["oracle"] == 1
+    # 20 publishes into k=3 result sets must have caused replacements.
+    assert monitor.checks["lemma1"] > 0
+
+
+def test_oracle_can_be_disabled():
+    engine, monitor, instrumented = make_setup(with_oracle=False)
+    instrumented.subscribe(DasQuery(0, ["w"]))
+    feed(instrumented, 5)
+    monitor.check_all()
+    assert monitor.oracle is None
+    assert monitor.checks["oracle"] == 0
+    assert monitor.violations == []
+
+
+def test_size_check_flags_overfull_and_out_of_order_results():
+    engine, monitor, instrumented = make_setup(with_oracle=False)
+    instrumented.subscribe(DasQuery(0, ["w"]))
+    feed(instrumented, 8)
+    entries = engine._result_sets[0].entries
+    assert len(entries) == engine.config.k
+    entries.append(entries[0])  # overfull AND breaks stream order
+    monitor.check_all()
+    names = [v.name for v in monitor.violations]
+    assert names.count("size") == 2
+    assert "holds 4 results" in monitor.violations[0].detail
+
+
+def test_oracle_check_flags_a_dropped_result():
+    engine, monitor, instrumented = make_setup()
+    instrumented.subscribe(DasQuery(0, ["w", "a"]))
+    feed(instrumented, 8)
+    monitor.check_all()
+    assert monitor.violations == []
+    engine._result_sets[0].entries.pop()  # silently lose a delivery
+    monitor.check_oracle()
+    assert [v.name for v in monitor.violations] == ["oracle"]
+
+
+def test_bounds_check_flags_an_unsound_block_threshold():
+    engine, monitor, instrumented = make_setup(with_oracle=False)
+    for qid in range(3):
+        instrumented.subscribe(DasQuery(qid, ["w", VOCAB[qid % 3 + 1]]))
+    feed(instrumented, 16)
+    # Force clean metadata on every block, then corrupt one summary so
+    # FT̃_b exceeds the exact minimum threshold.
+    tampered = False
+    for _term, block in engine.iter_term_blocks():
+        block.refresh_metadata(engine._result_sets, engine.config.alpha)
+        if not tampered and block.dtrel_min != float("-inf"):
+            block.dtrel_min += 100.0
+            tampered = True
+    assert tampered
+    monitor.check_bounds()
+    assert any(
+        v.name == "bounds" and "exceeds exact threshold" in v.detail
+        for v in monitor.violations
+    )
+
+
+def test_lemma1_check_flags_a_forged_replacement():
+    engine, monitor, instrumented = make_setup(with_oracle=False)
+    instrumented.subscribe(DasQuery(0, ["w"]))
+    feed(instrumented, 6)
+    result_set = engine._result_sets[0]
+    assert result_set.is_full
+    newest = result_set.entries[-1].document
+    probe = Document.from_tokens(99, ["w"], 50.0)
+    monitor.before_publish(probe)
+    # Forge an eviction of the *newest* entry: Lemma 1 only ever evicts
+    # the oldest, so the monitor must reject the claim.
+    monitor.after_publish(probe, [Notification(0, probe, newest)])
+    assert any(
+        v.name == "lemma1" and "expected oldest" in v.detail
+        for v in monitor.violations
+    )
+
+
+def test_lemma1_check_flags_replacement_on_unfilled_query():
+    engine, monitor, instrumented = make_setup(with_oracle=False)
+    instrumented.subscribe(DasQuery(0, ["w"]))
+    feed(instrumented, 1)  # result set not full: no eviction possible
+    probe = Document.from_tokens(99, ["w"], 50.0)
+    monitor.before_publish(probe)
+    evicted = engine._result_sets[0].entries[0].document
+    monitor.after_publish(probe, [Notification(0, probe, evicted)])
+    assert any(
+        v.name == "lemma1" and "not full" in v.detail
+        for v in monitor.violations
+    )
+
+
+def test_rebind_requires_oracle_off():
+    engine, monitor, _instrumented = make_setup(with_oracle=True)
+    with pytest.raises(ValueError):
+        monitor.rebind(DasEngine(default_engine_config()))
+    engine2, monitor2, _ = make_setup(with_oracle=False)
+    replacement = DasEngine(default_engine_config())
+    monitor2.rebind(replacement)
+    monitor2.check_all()  # audits the replacement engine without error
+    assert monitor2.violations == []
+
+
+def test_instrumented_engine_delegates_like_a_plain_engine():
+    engine, monitor, instrumented = make_setup()
+    assert instrumented.inner is engine
+    assert instrumented.monitor is monitor
+    assert instrumented.config is engine.config  # __getattr__ delegation
+    assert instrumented.clock is engine.clock
+    instrumented.subscribe(DasQuery(0, ["w"]))
+    notifications = instrumented.publish_batch(
+        [
+            Document.from_tokens(0, ["w"], 0.0),
+            Document.from_tokens(1, ["w", "a"], 1.0),
+        ]
+    )
+    assert [n.document.doc_id for n in notifications] == [0, 1]
+    # results() is rank-ordered, so compare membership, not order.
+    assert sorted(d.doc_id for d in instrumented.results(0)) == [0, 1]
+    instrumented.unsubscribe(0)
+    assert 0 not in engine._queries
