@@ -87,7 +87,12 @@ def _timed_rounds(engine, segments, batched):
 def run_throughput_suite():
     workload = build_workload(BENCH_SPEC)
     segments = _round_segments(workload)
-    backends = ["python"] + (["numpy"] if numpy_available() else [])
+    # "auto" is the shape-adaptive backend (ISSUE 4 satellite): python
+    # kernels on small blocks, numpy once row counts amortise the
+    # conversion — measured here against both pure backends.
+    backends = ["python"] + (
+        ["numpy", "auto"] if numpy_available() else []
+    )
     results = {}
     for method in METHODS:
         results[method] = {}
@@ -134,9 +139,15 @@ def test_publish_throughput():
 
     gifilter = results["GIFilter"]
     speedup = None
+    auto_speedup = None
     if "numpy" in gifilter:
         speedup = (
             gifilter["numpy"]["docs_per_sec"]
+            / gifilter["python"]["docs_per_sec"]
+        )
+    if "auto" in gifilter:
+        auto_speedup = (
+            gifilter["auto"]["docs_per_sec"]
             / gifilter["python"]["docs_per_sec"]
         )
     payload = {
@@ -165,6 +176,7 @@ def test_publish_throughput():
             for method, variants in results.items()
         },
         "gifilter_numpy_vs_python_speedup": speedup,
+        "gifilter_auto_vs_python_speedup": auto_speedup,
     }
     with open(JSON_PATH, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

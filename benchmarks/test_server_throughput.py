@@ -8,11 +8,17 @@ at 1, 4 and 16 concurrent publishers.  Unlike ``test_publish_throughput``
 asyncio pipeline, so it times wall-clock (``perf_counter``) with one
 warm-up round and reports the best of ``MEASURE_ROUNDS`` timed rounds.
 
+The ``REPRO_BENCH_SCALE`` environment variable scales the per-round
+document count (the CI regression gate runs at a fraction of the
+committed baselines' scale; rates stay comparable because they are
+per-second).
+
 Artifacts:
 
 * ``benchmarks/out/server_throughput.txt`` — human-readable table;
 * ``BENCH_server.json`` at the repo root — machine-readable trajectory
-  record (docs/sec per concurrency level plus batching stats).
+  record (docs/sec per concurrency level and per worker-process count,
+  plus batching stats).
 """
 
 from __future__ import annotations
@@ -23,17 +29,23 @@ import os
 import platform
 import time
 
-from benchmarks.common import write_output
+from benchmarks.common import bench_scale, write_output
 from repro.config import ServerConfig
 from repro.core.engine import DasEngine
 from repro.server import InProcessClient, ServerRuntime
 
 #: Concurrent publisher counts exercised (ISSUE 2 satellite e).
 PUBLISHER_COUNTS = (1, 4, 16)
-#: Documents pushed per round, split across the publishers.
-DOCS_PER_ROUND = 480
+#: Documents pushed per round, split across the publishers
+#: (kept a multiple of 16 so every publisher count divides evenly).
+DOCS_PER_ROUND = max(32, int(480 * bench_scale()) // 16 * 16)
 #: Timed rounds per level (after one untimed warm-up round).
 MEASURE_ROUNDS = 2
+#: Worker-process counts for the parallel-engine sweep (ISSUE 4);
+#: 0 = in-process engine baseline.
+WORKER_COUNTS = (0, 2, 4)
+#: Publisher count used for the parallel-engine sweep.
+PARALLEL_PUBLISHERS = 4
 
 N_QUERIES = 16
 VOCAB = [f"term{i}" for i in range(40)]
@@ -52,7 +64,7 @@ def _token_stream(publisher, count, round_index):
     return stream
 
 
-async def _measure_level(n_publishers):
+async def _measure_level(n_publishers, parallel_workers=0):
     """Fresh runtime per level; returns (rates, stats_snapshot)."""
     runtime = ServerRuntime(
         DasEngine.for_method("GIFilter", k=10, block_size=4),
@@ -61,6 +73,7 @@ async def _measure_level(n_publishers):
             outbound_capacity=8192,
             max_batch_size=64,
             drain_timeout=30.0,
+            parallel_workers=parallel_workers,
         ),
     )
     await runtime.start()
@@ -126,7 +139,29 @@ def run_server_suite():
     return results
 
 
-def format_table(results):
+def run_parallel_suite():
+    """The parallel-workers dimension: same pipeline, engine in-process
+    (0) vs in N shard worker processes, at a fixed publisher count."""
+    results = {}
+    for n_workers in WORKER_COUNTS:
+        rates, stats, delivered = asyncio.run(
+            asyncio.wait_for(
+                _measure_level(PARALLEL_PUBLISHERS, n_workers), 300.0
+            )
+        )
+        results[n_workers] = {
+            "docs_per_sec": max(rates),
+            "rounds": [round(rate, 1) for rate in rates],
+            "accepted": stats["accepted"],
+            "delivered": delivered,
+            "restarts": (
+                sum(stats["workers"]["restarts"]) if stats["workers"] else 0
+            ),
+        }
+    return results
+
+
+def format_table(results, parallel_results):
     lines = [
         "Serving-runtime throughput (docs/sec end-to-end via the "
         f"in-process transport, best of {MEASURE_ROUNDS} perf_counter "
@@ -138,6 +173,17 @@ def format_table(results):
         lines.append(
             f"{n_publishers:>10} {record['docs_per_sec']:>10.1f} "
             f"{record['max_batch']:>10}  [{rounds}]"
+        )
+    lines.append("")
+    lines.append(
+        f"Parallel-workers sweep ({PARALLEL_PUBLISHERS} publishers; "
+        "0 workers = in-process engine)"
+    )
+    lines.append(f"{'workers':>10} {'docs/sec':>10}  rounds")
+    for n_workers, record in parallel_results.items():
+        rounds = ", ".join(f"{rate:.1f}" for rate in record["rounds"])
+        lines.append(
+            f"{n_workers:>10} {record['docs_per_sec']:>10.1f}  [{rounds}]"
         )
     return "\n".join(lines)
 
@@ -152,11 +198,23 @@ def test_server_throughput():
         # The block-policy subscriber lost nothing.
         assert record["delivered"] > 0
 
-    write_output("server_throughput", format_table(results))
+    parallel_results = run_parallel_suite()
+    for n_workers in WORKER_COUNTS:
+        record = parallel_results[n_workers]
+        assert record["docs_per_sec"] > 0.0, n_workers
+        assert record["accepted"] == DOCS_PER_ROUND * (MEASURE_ROUNDS + 1)
+        assert record["restarts"] == 0, n_workers  # no crashes under load
+
+    baseline = parallel_results[0]["docs_per_sec"]
+    write_output(
+        "server_throughput", format_table(results, parallel_results)
+    )
     payload = {
         "benchmark": "server_throughput",
         "spec": {
             "publisher_counts": list(PUBLISHER_COUNTS),
+            "worker_counts": list(WORKER_COUNTS),
+            "parallel_publishers": PARALLEL_PUBLISHERS,
             "docs_per_round": DOCS_PER_ROUND,
             "measure_rounds": MEASURE_ROUNDS,
             "n_queries": N_QUERIES,
@@ -166,6 +224,7 @@ def test_server_throughput():
         "environment": {
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
         },
         "results": {
             str(n_publishers): {
@@ -175,6 +234,16 @@ def test_server_throughput():
                 "max_batch": record["max_batch"],
             }
             for n_publishers, record in results.items()
+        },
+        "parallel_workers": {
+            str(n_workers): {
+                "docs_per_sec": record["docs_per_sec"],
+                "rounds": record["rounds"],
+                "speedup_vs_inprocess": (
+                    record["docs_per_sec"] / baseline if baseline else None
+                ),
+            }
+            for n_workers, record in parallel_results.items()
         },
     }
     with open(JSON_PATH, "w") as handle:

@@ -308,13 +308,33 @@ class DasEngine:
 
     # -- document processing (Algorithm 2) ---------------------------------------
 
-    def publish(self, document: Document) -> List[Notification]:
-        """Process one stream document; returns the triggered updates."""
-        self._decay_cache.clear()
-        return self._publish_one(document, {})
+    def publish(
+        self,
+        document: Document,
+        decay_cache: Optional[CachedDecay] = None,
+    ) -> List[Notification]:
+        """Process one stream document; returns the triggered updates.
+
+        ``decay_cache`` lets a multi-shard caller share one decay-power
+        memo across shards processing the same document (the powers are
+        pure functions of the age gap, so sharing is exact); the caller
+        then owns clearing it.  With the default ``None`` the engine's
+        own per-publish memo is used.
+        """
+        if decay_cache is None:
+            self._decay_cache.clear()
+            return self._publish_one(document, {})
+        own = self._decay_cache
+        self._decay_cache = decay_cache
+        try:
+            return self._publish_one(document, {})
+        finally:
+            self._decay_cache = own
 
     def publish_batch(
-        self, documents: Iterable[Document]
+        self,
+        documents: Iterable[Document],
+        decay_cache: Optional[CachedDecay] = None,
     ) -> List[Notification]:
         """Process a micro-batch of stream documents.
 
@@ -329,14 +349,23 @@ class DasEngine:
         term -> postings-list resolution is memoised across the batch,
         and the decay-power memo is cleared once per batch instead of
         once per document (decay powers are pure functions of the age
-        gap, so reuse across documents is exact).
+        gap, so reuse across documents is exact).  A sharded caller may
+        pass a shared ``decay_cache`` so sibling shards broadcasting the
+        same batch reuse one memo (the caller owns clearing it).
         """
-        self._decay_cache.clear()
-        notifications: List[Notification] = []
-        lists_memo: Dict[str, Optional[PostingsList]] = {}
-        for document in documents:
-            notifications.extend(self._publish_one(document, lists_memo))
-        return notifications
+        if decay_cache is None:
+            decay_cache = self._decay_cache
+            decay_cache.clear()
+        own = self._decay_cache
+        self._decay_cache = decay_cache
+        try:
+            notifications: List[Notification] = []
+            lists_memo: Dict[str, Optional[PostingsList]] = {}
+            for document in documents:
+                notifications.extend(self._publish_one(document, lists_memo))
+            return notifications
+        finally:
+            self._decay_cache = own
 
     def _publish_one(
         self,

@@ -31,6 +31,7 @@ from repro.core.events import Notification
 from repro.core.query import DasQuery
 from repro.errors import DuplicateQueryError, UnknownQueryError
 from repro.metrics.instrumentation import Counters
+from repro.scoring.recency import CachedDecay
 from repro.stream.document import Document
 
 ROUTING_POLICIES = ("round_robin", "hash", "least_loaded")
@@ -59,6 +60,24 @@ class ShardedDasEngine:
         self.routing = routing
         self._assignment: Dict[int, int] = {}
         self._next_round_robin = 0
+        #: One decay-power memo shared by all shards within a publish
+        #: (broadcast shards see the same documents, hence the same age
+        #: gaps).  ``False`` marks shards with differing decay bases,
+        #: where sharing would be wrong; built lazily on first publish.
+        self._shared_decay: object = None
+
+    def _decay_memo(self) -> Optional[CachedDecay]:
+        """The cross-shard decay memo, or None when shards disagree."""
+        shared = self._shared_decay
+        if shared is None:
+            bases = {shard.decay.base for shard in self.shards}
+            shared = (
+                CachedDecay(self.shards[0].decay)
+                if len(bases) == 1
+                else False
+            )
+            self._shared_decay = shared
+        return shared if shared is not False else None
 
     @property
     def n_shards(self) -> int:
@@ -110,11 +129,17 @@ class ShardedDasEngine:
 
         Each shard holds its own document store and collection
         statistics, mirroring independent servers that each consume the
-        full stream.
+        full stream.  One decay-power memo is shared across the shard
+        calls — the N shards see the same document against the same age
+        gaps, so re-deriving ``B^{-(t_cur - t_c)}`` per shard is pure
+        waste (the memo is exact: each power is still computed once).
         """
+        memo = self._decay_memo()
+        if memo is not None:
+            memo.clear()
         notifications: List[Notification] = []
         for shard in self.shards:
-            notifications.extend(shard.publish(document))
+            notifications.extend(shard.publish(document, decay_cache=memo))
         return notifications
 
     def publish_batch(
@@ -131,7 +156,13 @@ class ShardedDasEngine:
         docs = list(documents)
         if not docs:
             return []
-        per_shard = [shard.publish_batch(docs) for shard in self.shards]
+        memo = self._decay_memo()
+        if memo is not None:
+            memo.clear()
+        per_shard = [
+            shard.publish_batch(docs, decay_cache=memo)
+            for shard in self.shards
+        ]
         merged: List[Notification] = []
         positions = [0] * len(per_shard)
         for document in docs:

@@ -69,3 +69,13 @@ class InjectedFaultError(ReproError):
 
 class ServerClosedError(ReproError):
     """The serving runtime is draining or stopped and rejects new work."""
+
+
+class WorkerCrashError(ReproError):
+    """A shard worker process died and could not be recovered.
+
+    Raised by :class:`repro.parallel.ParallelShardedEngine` after a dead
+    worker's restart-and-replay also failed; the op that observed the
+    crash fails (its acks fail), but the engine facade stays usable —
+    the matcher counts the error instead of dying with the worker.
+    """

@@ -122,6 +122,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine shards; > 1 serves a ShardedDasEngine (default: 1)",
     )
     serve.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=0,
+        help=(
+            "run the engine as N shard worker processes "
+            "(ParallelShardedEngine); overrides --shards (default: 0 = "
+            "in-process)"
+        ),
+    )
+    serve.add_argument(
         "--policy",
         choices=SLOW_CONSUMER_POLICIES,
         default="block",
@@ -176,6 +186,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     simulate.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=0,
+        help=(
+            "instead of the default suite, run the worker-crash scenarios "
+            "against a ParallelShardedEngine with N worker processes"
+        ),
+    )
+    simulate.add_argument(
         "--report",
         default=None,
         help="also write the JSON report to this path",
@@ -190,7 +209,12 @@ def build_serve_runtime(args):
     from repro.distributed import ShardedDasEngine
     from repro.server import NdjsonTcpServer, ServerRuntime
 
-    if args.shards > 1:
+    parallel_workers = getattr(args, "parallel_workers", 0)
+    if parallel_workers > 1:
+        # The runtime wraps the fresh engine into worker processes and
+        # owns their lifecycle (ServerConfig.parallel_workers).
+        engine = DasEngine.for_method(args.method, k=args.k)
+    elif args.shards > 1:
         base = DasEngine.for_method(args.method, k=args.k)
         engine = ShardedDasEngine(args.shards, base.config)
     else:
@@ -202,6 +226,7 @@ def build_serve_runtime(args):
         slow_consumer_policy=args.policy,
         host=args.host,
         port=args.port,
+        parallel_workers=parallel_workers if parallel_workers > 1 else 0,
     )
     runtime = ServerRuntime(engine, config)
     return runtime, NdjsonTcpServer(runtime)
@@ -233,9 +258,17 @@ def run_simulate(args) -> int:
     """Run the fault-injection harness; exit non-zero on any violation."""
     import json
 
-    from repro.simulation import SimulationHarness, run_default_suite
+    from repro.simulation import (
+        SimulationHarness,
+        run_default_suite,
+        run_parallel_crash_suite,
+    )
 
-    if args.plan is not None:
+    if getattr(args, "parallel_workers", 0) > 0:
+        report = run_parallel_crash_suite(
+            args.seed, ops=args.ops, workers=args.parallel_workers
+        )
+    elif args.plan is not None:
         report = SimulationHarness(
             args.seed, ops=args.ops, fault_plan=args.plan
         ).run()

@@ -25,7 +25,10 @@ is guarded by ``TIE_EPSILON`` so the notification streams are identical
 
 :func:`resolve_backend` maps the ``EngineConfig.backend`` setting
 (``"auto" | "python" | "numpy"``) to a backend singleton; ``"auto"``
-picks NumPy when importable and falls back to pure Python otherwise.
+resolves to the shape-adaptive dispatcher
+(:class:`~repro.kernels.adaptive.AdaptiveKernels`) when NumPy is
+importable — per call, small operand shapes take the Python loops and
+large ones the vectorised path — and to pure Python otherwise.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.kernels.adaptive import AdaptiveKernels, measure_crossover
 from repro.kernels.python_backend import PythonKernels
 
 #: Names accepted by ``EngineConfig.backend``.
@@ -41,6 +45,7 @@ BACKEND_CHOICES = ("auto", "python", "numpy")
 _PYTHON_SINGLETON = PythonKernels()
 _NUMPY_SINGLETON: Optional[object] = None
 _NUMPY_FAILED = False
+_ADAPTIVE_SINGLETON: Optional[AdaptiveKernels] = None
 
 
 def numpy_available() -> bool:
@@ -68,10 +73,13 @@ def default_kernels() -> PythonKernels:
 def resolve_backend(name: str = "auto"):
     """Return the kernel backend for a config ``backend`` setting.
 
-    ``"auto"`` prefers NumPy and silently falls back to pure Python;
-    asking for ``"numpy"`` explicitly when NumPy is not importable is a
+    ``"auto"`` resolves to the shape-adaptive dispatcher (python below
+    the measured crossover shape, numpy above) and silently falls back
+    to pure Python when NumPy is not importable; asking for ``"numpy"``
+    explicitly without NumPy is a
     :class:`~repro.errors.ConfigurationError`.
     """
+    global _ADAPTIVE_SINGLETON
     if name == "python":
         return _PYTHON_SINGLETON
     if name == "numpy":
@@ -84,16 +92,22 @@ def resolve_backend(name: str = "auto"):
         return backend
     if name == "auto":
         backend = _load_numpy_backend()
-        return backend if backend is not None else _PYTHON_SINGLETON
+        if backend is None:
+            return _PYTHON_SINGLETON
+        if _ADAPTIVE_SINGLETON is None:
+            _ADAPTIVE_SINGLETON = AdaptiveKernels(_PYTHON_SINGLETON, backend)
+        return _ADAPTIVE_SINGLETON
     raise ConfigurationError(
         f"unknown kernel backend {name!r}; expected one of {BACKEND_CHOICES}"
     )
 
 
 __all__ = [
+    "AdaptiveKernels",
     "BACKEND_CHOICES",
     "PythonKernels",
     "default_kernels",
+    "measure_crossover",
     "numpy_available",
     "resolve_backend",
 ]

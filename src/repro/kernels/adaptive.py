@@ -1,0 +1,227 @@
+"""Shape-adaptive kernel dispatch: python or numpy per call site.
+
+``BENCH_throughput.json`` showed the NumPy backend *losing* to pure
+Python at the benchmark's shapes (0.68x on GIFilter at k=20): a
+``k x |union terms|`` mat-vec only amortises NumPy's per-call overhead
+(restriction dict lookups, array construction, dispatch) once the
+member matrix has enough rows, and MCS cover sets at small k are far
+below that point.  The crossover is a property of the *shape* of each
+call — the number of member rows / cover documents actually involved —
+not of the engine configuration, so the right policy is per call, not
+per engine.
+
+:class:`AdaptiveKernels` implements ``EngineConfig.backend = "auto"``:
+every kernel op measures the shape it was handed and routes it to the
+pure-Python backend below the crossover and to NumPy above it.  Both
+backends are decision-equivalent (see the package docstring), so mixing
+them per call preserves the engine's notification stream bit-for-bit
+with respect to either pure backend's decisions.
+
+Crossover thresholds default to values measured on the benchmark
+machine (see EXPERIMENTS.md "Auto backend policy") and can be
+overridden through ``REPRO_AUTO_MIN_ROWS`` / ``REPRO_AUTO_MIN_COVER``
+or the constructor.  :func:`measure_crossover` re-derives them
+empirically on the current host.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Tuple
+
+from repro.text.vectors import TermVector
+
+#: Member-matrix rows below which the pure-Python loop wins (measured:
+#: NumPy overtakes somewhere past ~30 rows on CPython 3.11 / x86_64;
+#: the engine's k=20-30 result sets sit firmly on the Python side).
+DEFAULT_MIN_ROWS = 32
+#: Total cover documents below which the Python min-reduce wins.  MCS
+#: covers hold at most k-1 documents each, so small-k blocks never pay
+#: the NumPy packing cost.
+DEFAULT_MIN_COVER = 32
+
+
+def _env_threshold(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return default
+
+
+class _AdaptiveEntries:
+    """Packed-entries holder: NumPy form built lazily, on first use by a
+    call whose shape clears the crossover, then maintained incrementally
+    alongside the entry list like the pure NumPy backend would."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self) -> None:
+        self.inner = None
+
+
+class _AdaptiveCovers:
+    """Packed-covers holder; built eagerly (covers are immutable between
+    MCS rebuilds, so there is no maintenance to defer)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+
+class AdaptiveKernels:
+    """Per-call python/numpy dispatch on measured operand shape."""
+
+    name = "auto"
+
+    def __init__(
+        self,
+        python_backend,
+        numpy_backend,
+        min_rows: int = None,
+        min_cover: int = None,
+    ) -> None:
+        self._python = python_backend
+        self._numpy = numpy_backend
+        self.min_rows = (
+            min_rows
+            if min_rows is not None
+            else _env_threshold("REPRO_AUTO_MIN_ROWS", DEFAULT_MIN_ROWS)
+        )
+        self.min_cover = (
+            min_cover
+            if min_cover is not None
+            else _env_threshold("REPRO_AUTO_MIN_COVER", DEFAULT_MIN_COVER)
+        )
+
+    # -- result-set kernels ------------------------------------------------
+
+    def pack_entries(self, entries: Sequence) -> _AdaptiveEntries:
+        return _AdaptiveEntries()
+
+    def packed_append(
+        self, packed: _AdaptiveEntries, entries: Sequence
+    ) -> _AdaptiveEntries:
+        if packed.inner is not None:
+            packed.inner = self._numpy.packed_append(packed.inner, entries)
+        return packed
+
+    def packed_replace(
+        self, packed: _AdaptiveEntries, entries: Sequence
+    ) -> _AdaptiveEntries:
+        if packed.inner is not None:
+            packed.inner = self._numpy.packed_replace(packed.inner, entries)
+        return packed
+
+    def _numpy_entries(self, packed: _AdaptiveEntries, entries: Sequence):
+        if packed.inner is None:
+            packed.inner = self._numpy.pack_entries(entries)
+        return packed.inner
+
+    def similarities_to(
+        self, packed: _AdaptiveEntries, entries: Sequence, vector: TermVector
+    ) -> List[float]:
+        if len(entries) >= self.min_rows:
+            return self._numpy.similarities_to(
+                self._numpy_entries(packed, entries), entries, vector
+            )
+        return self._python.similarities_to(None, entries, vector)
+
+    def tail_similarities(
+        self, packed: _AdaptiveEntries, entries: Sequence, vector: TermVector
+    ) -> List[float]:
+        if len(entries) >= self.min_rows:
+            return self._numpy.tail_similarities(
+                self._numpy_entries(packed, entries), entries, vector
+            )
+        return self._python.tail_similarities(None, entries, vector)
+
+    def tail_similarity_sum(
+        self,
+        packed: _AdaptiveEntries,
+        entries: Sequence,
+        vector: TermVector,
+        skip_aw_resident: bool,
+    ) -> Tuple[float, int]:
+        if len(entries) >= self.min_rows:
+            return self._numpy.tail_similarity_sum(
+                self._numpy_entries(packed, entries),
+                entries,
+                vector,
+                skip_aw_resident,
+            )
+        return self._python.tail_similarity_sum(
+            None, entries, vector, skip_aw_resident
+        )
+
+    # -- group-bound kernels -----------------------------------------------
+
+    def pack_covers(self, covers: Sequence) -> _AdaptiveCovers:
+        members = sum(len(cover) for cover in covers)
+        if members >= self.min_cover:
+            return _AdaptiveCovers(self._numpy.pack_covers(covers))
+        return _AdaptiveCovers(None)
+
+    def cover_min_sim_sum(
+        self, packed: _AdaptiveCovers, covers: Sequence, vector: TermVector
+    ) -> float:
+        if packed.inner is not None:
+            return self._numpy.cover_min_sim_sum(
+                packed.inner, covers, vector
+            )
+        return self._python.cover_min_sim_sum(None, covers, vector)
+
+
+def measure_crossover(
+    python_backend,
+    numpy_backend,
+    row_counts: Sequence[int] = (4, 8, 16, 32, 64, 128, 256),
+    terms_per_doc: int = 8,
+    repeats: int = 200,
+) -> int:
+    """Empirical row-count crossover on this host.
+
+    Times ``similarities_to`` on synthetic result sets of growing size
+    and returns the smallest row count at which NumPy beat Python (or
+    the largest probed count plus one if it never did).  Used to
+    recalibrate :data:`DEFAULT_MIN_ROWS` — never called on a hot path.
+    """
+    import time
+
+    class _Entry:
+        __slots__ = ("document",)
+
+        def __init__(self, document) -> None:
+            self.document = document
+
+    class _Doc:
+        __slots__ = ("vector",)
+
+        def __init__(self, vector) -> None:
+            self.vector = vector
+
+    def _vector(seed: int) -> TermVector:
+        return TermVector(
+            {
+                f"t{(seed * 7 + i * 13) % (terms_per_doc * 16)}": 1 + (seed + i) % 3
+                for i in range(terms_per_doc)
+            }
+        )
+
+    for rows in row_counts:
+        entries = [_Entry(_Doc(_vector(i))) for i in range(rows)]
+        probe = _vector(rows + 1)
+        timings = {}
+        for name, backend in (("python", python_backend), ("numpy", numpy_backend)):
+            packed = backend.pack_entries(entries)
+            backend.similarities_to(packed, entries, probe)  # warm-up
+            start = time.perf_counter()
+            for _ in range(repeats):
+                backend.similarities_to(packed, entries, probe)
+            timings[name] = time.perf_counter() - start
+        if timings["numpy"] < timings["python"]:
+            return rows
+    return max(row_counts) + 1

@@ -1,0 +1,12 @@
+"""Process-parallel sharded DAS engine (one worker process per shard).
+
+See :mod:`repro.parallel.engine` for the architecture.  The package
+exists so the matcher can use real CPU parallelism for the broadcast
+side of pub/sub matching — each shard holds a disjoint subset of the
+queries, and a published document is matched against all shards
+concurrently in separate processes, sidestepping the GIL.
+"""
+
+from repro.parallel.engine import ParallelShardedEngine
+
+__all__ = ["ParallelShardedEngine"]

@@ -1,0 +1,570 @@
+"""Process-parallel sharded DAS engine.
+
+:class:`ParallelShardedEngine` is :class:`~repro.distributed.sharded.
+ShardedDasEngine` with each shard moved into a dedicated worker process
+(``spawn`` start method; see :mod:`repro.parallel.worker`).  Queries are
+routed to one shard, documents are broadcast to all shards, and the
+per-shard notification streams are merged document-major / shard-minor —
+exactly the sharded engine's merge, so results are identical to a single
+:class:`~repro.core.engine.DasEngine` processing the same stream (the
+equivalence tests assert it).
+
+The parent keeps three mirrors so workers never ship engine objects:
+
+* the master :class:`~repro.text.vocabulary.Vocabulary` (the process
+  global), synced to each worker via deltas so documents travel as
+  term-id arrays;
+* a ``doc_id -> Document`` map of published documents, used to rebuild
+  :class:`~repro.core.events.Notification` and result lists from the id
+  triples workers return (pruned at every checkpoint to the documents
+  the checkpoints still reference);
+* routing state (assignment table, round-robin cursor), identical in
+  shape to the sharded engine's so checkpoints are interchangeable.
+
+Crash containment: a worker that dies mid-op fails like a shard, not
+like the server.  The parent keeps every worker's last checkpoint plus a
+journal of ops applied since; on a detected death it respawns the
+worker, restores the checkpoint, replays the journal, and retries the
+op that observed the crash.  Only if *that* also fails does the op raise
+:class:`~repro.errors.WorkerCrashError` — which the serving runtime's
+matcher already contains and counts (PR 3) instead of dying.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import EngineConfig
+from repro.core.events import Notification
+from repro.core.query import DasQuery
+from repro.distributed.sharded import ROUTING_POLICIES
+from repro.errors import (
+    DuplicateQueryError,
+    ReproError,
+    UnknownQueryError,
+    WorkerCrashError,
+)
+from repro.metrics.instrumentation import Counters
+from repro.parallel.wire import (
+    decode_error,
+    encode_document,
+    encode_query_terms,
+)
+from repro.parallel.worker import worker_main
+from repro.persistence.checkpoint import (
+    CHECKPOINT_VERSION,
+    _config_from_dict,
+    _config_to_dict,
+)
+from repro.stream.document import Document
+from repro.text.vectors import TermVector
+from repro.text.vocabulary import GLOBAL_VOCABULARY, Vocabulary
+
+
+class _WorkerHandle:
+    """One worker process plus its pipe and vocabulary-sync cursor."""
+
+    def __init__(
+        self,
+        index: int,
+        ctx,
+        config_payload: Dict,
+        fault_plan: Optional[str] = None,
+    ) -> None:
+        self.index = index
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(child_conn, config_payload, fault_plan),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        self.process.start()
+        child_conn.close()
+        #: Master-vocabulary ids below this are already in the replica.
+        self.synced_terms = 0
+
+    def send(self, op: str, *args, vocab: Vocabulary) -> None:
+        """Send one request, prefixed with the replica's vocab delta."""
+        delta = vocab.tail(self.synced_terms)
+        try:
+            self.conn.send((op, delta) + args)
+        except (OSError, ValueError) as exc:
+            raise WorkerCrashError(
+                f"worker {self.index} pipe closed during send"
+            ) from exc
+        self.synced_terms = len(vocab)
+
+    def recv(self):
+        """Read one reply; raises the decoded error for "err" replies."""
+        try:
+            reply = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerCrashError(f"worker {self.index} died") from exc
+        if reply[0] == "err":
+            raise decode_error(reply[1], reply[2])
+        return reply[1]
+
+    def request(self, op: str, *args, vocab: Vocabulary):
+        self.send(op, *args, vocab=vocab)
+        return self.recv()
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def close(self, timeout: float = 2.0) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout)
+
+
+class ParallelShardedEngine:
+    """N DAS engine shards, each in its own worker process."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        config: Optional[EngineConfig] = None,
+        routing: str = "round_robin",
+        fault_plan: Optional[str] = None,
+        fault_shard: int = 0,
+        start_method: str = "spawn",
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing {routing!r}; expected one of "
+                f"{ROUTING_POLICIES}"
+            )
+        self._config = config if config is not None else EngineConfig()
+        self._config_payload = _config_to_dict(self._config)
+        self._ctx = multiprocessing.get_context(start_method)
+        self.routing = routing
+        self._assignment: Dict[int, int] = {}
+        self._next_round_robin = 0
+        self._vocab = GLOBAL_VOCABULARY
+        #: Parent-side mirror of published documents, by id.
+        self._documents: Dict[int, Document] = {}
+        #: Ops applied since the last checkpoint, for crash replay.
+        #: Entries: ("subscribe", shard, query_id, terms),
+        #: ("unsubscribe", shard, query_id), ("publish", doc_id tuple).
+        self._journal: List[Tuple] = []
+        self._checkpoints: List[Optional[Dict]] = [None] * n_workers
+        self._restarts = [0] * n_workers
+        self._recoveries = 0
+        self._now = 0.0
+        self._last_doc_id: Optional[int] = None
+        self._last_query_id: Optional[int] = None
+        self._closed = False
+        self._workers = [
+            _WorkerHandle(
+                index,
+                self._ctx,
+                self._config_payload,
+                fault_plan if index == fault_shard else None,
+            )
+            for index in range(n_workers)
+        ]
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._workers)
+
+    @property
+    def query_count(self) -> int:
+        return len(self._assignment)
+
+    def shard_of(self, query_id: int) -> int:
+        shard = self._assignment.get(query_id)
+        if shard is None:
+            raise UnknownQueryError(f"query {query_id} is not subscribed")
+        return shard
+
+    def query_id_floor(self) -> int:
+        """Smallest query id a new subscription may use (facade hook)."""
+        last = self._last_query_id
+        return 0 if last is None else last + 1
+
+    def doc_id_floor(self) -> int:
+        """Smallest document id a new publish may use (facade hook)."""
+        last = self._last_doc_id
+        return 0 if last is None else last + 1
+
+    def clock_now(self) -> float:
+        """Latest accepted timestamp (facade hook; mirrors shard clocks)."""
+        return self._now
+
+    def worker_stats(self) -> Dict:
+        """Liveness and recovery accounting for the runtime's stats()."""
+        return {
+            "workers": self.n_shards,
+            "alive": [handle.alive() for handle in self._workers],
+            "restarts": list(self._restarts),
+            "recoveries": self._recoveries,
+            "journal_ops": len(self._journal),
+        }
+
+    # -- worker plumbing ----------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise WorkerCrashError("parallel engine is closed")
+
+    def _recover(self, shard: int) -> None:
+        """Respawn a dead worker: restore its checkpoint, replay the journal.
+
+        Raises :class:`WorkerCrashError` if the replacement dies too —
+        the caller's op then fails, which is the containment contract.
+        """
+        self._workers[shard].close()
+        handle = _WorkerHandle(shard, self._ctx, self._config_payload)
+        self._workers[shard] = handle
+        self._restarts[shard] += 1
+        handle.request("restore", self._checkpoints[shard], vocab=self._vocab)
+        for entry in self._journal:
+            kind = entry[0]
+            if kind == "subscribe" and entry[1] == shard:
+                handle.request(
+                    "subscribe",
+                    entry[2],
+                    encode_query_terms(entry[3], self._vocab),
+                    vocab=self._vocab,
+                )
+            elif kind == "unsubscribe" and entry[1] == shard:
+                handle.request("unsubscribe", entry[2], vocab=self._vocab)
+            elif kind == "publish":
+                payload = tuple(
+                    encode_document(self._documents[doc_id], self._vocab)
+                    for doc_id in entry[1]
+                )
+                try:
+                    handle.request("publish_batch", payload, vocab=self._vocab)
+                except WorkerCrashError:
+                    raise
+                except ReproError:
+                    # The original batch was rejected mid-way (e.g. a
+                    # document-order violation); replay re-establishes
+                    # the same partial application, so the same error
+                    # here is expected, not a failure.
+                    pass
+        self._recoveries += 1
+
+    def _request(self, shard: int, op: str, *args):
+        """One-shard request with a single recover-and-retry on crash."""
+        try:
+            return self._workers[shard].request(op, *args, vocab=self._vocab)
+        except WorkerCrashError:
+            self._recover(shard)
+            return self._workers[shard].request(op, *args, vocab=self._vocab)
+
+    def _broadcast(self, op: str, *args) -> List:
+        """Pipelined all-shard request (send all, then read all replies)."""
+        results: List = [None] * self.n_shards
+        crashed: List[int] = []
+        error: Optional[ReproError] = None
+        for shard, handle in enumerate(self._workers):
+            try:
+                handle.send(op, *args, vocab=self._vocab)
+            except WorkerCrashError:
+                crashed.append(shard)
+        for shard, handle in enumerate(self._workers):
+            if shard in crashed:
+                continue
+            try:
+                results[shard] = handle.recv()
+            except WorkerCrashError:
+                crashed.append(shard)
+            except ReproError as exc:
+                # Shards run identical validation over identical input,
+                # so a non-crash rejection is common to every shard;
+                # remember one instance and keep draining replies.
+                error = exc
+        for shard in crashed:
+            self._recover(shard)
+            try:
+                results[shard] = self._workers[shard].request(
+                    op, *args, vocab=self._vocab
+                )
+            except ReproError as exc:
+                if isinstance(exc, WorkerCrashError):
+                    raise
+                error = exc
+        if error is not None:
+            raise error
+        return results
+
+    # -- routing ------------------------------------------------------------
+
+    def _route(self, query: DasQuery) -> int:
+        if self.routing == "round_robin":
+            shard = self._next_round_robin
+            self._next_round_robin = (shard + 1) % self.n_shards
+            return shard
+        if self.routing == "hash":
+            return query.query_id % self.n_shards
+        loads = [load["postings"] for load in self._broadcast("load")]
+        return loads.index(min(loads))
+
+    # -- engine facade ------------------------------------------------------
+
+    def subscribe(self, query: DasQuery) -> List[Document]:
+        self._check_open()
+        if query.query_id in self._assignment:
+            raise DuplicateQueryError(
+                f"query {query.query_id} already subscribed"
+            )
+        shard = self._route(query)
+        doc_ids = self._request(
+            shard,
+            "subscribe",
+            query.query_id,
+            encode_query_terms(query.terms, self._vocab),
+        )
+        self._assignment[query.query_id] = shard
+        if self._last_query_id is None or query.query_id > self._last_query_id:
+            self._last_query_id = query.query_id
+        self._journal.append(("subscribe", shard, query.query_id, query.terms))
+        return [self._documents[doc_id] for doc_id in doc_ids]
+
+    def unsubscribe(self, query_id: int) -> None:
+        self._check_open()
+        shard = self.shard_of(query_id)
+        self._request(shard, "unsubscribe", query_id)
+        del self._assignment[query_id]
+        self._journal.append(("unsubscribe", shard, query_id))
+
+    def publish(self, document: Document) -> List[Notification]:
+        return self.publish_batch([document])
+
+    def publish_batch(
+        self, documents: Iterable[Document]
+    ) -> List[Notification]:
+        """Broadcast a batch to every worker; merge in document order.
+
+        The batch is encoded once (term-id arrays against the master
+        vocabulary) and the identical payload goes to every worker, so
+        the only per-worker cost is the pipe write.  Workers match
+        concurrently; replies are collected afterwards and interleaved
+        document-major / shard-minor, matching the sharded engine and
+        the single-engine oracle exactly.
+        """
+        self._check_open()
+        docs = list(documents)
+        if not docs:
+            return []
+        payload = tuple(
+            encode_document(document, self._vocab) for document in docs
+        )
+        for document in docs:
+            self._documents[document.doc_id] = document
+        try:
+            per_shard = self._broadcast("publish_batch", payload)
+        finally:
+            # Journal the batch even when it was (identically) rejected
+            # part-way: replaying it reproduces the same partial state.
+            self._journal.append(
+                ("publish", tuple(document.doc_id for document in docs))
+            )
+            for document in docs:
+                if document.created_at > self._now:
+                    self._now = document.created_at
+                if (
+                    self._last_doc_id is None
+                    or document.doc_id > self._last_doc_id
+                ):
+                    self._last_doc_id = document.doc_id
+        merged: List[Notification] = []
+        positions = [0] * len(per_shard)
+        documents_by_id = self._documents
+        for document in docs:
+            doc_id = document.doc_id
+            for index, stream in enumerate(per_shard):
+                position = positions[index]
+                while (
+                    position < len(stream) and stream[position][1] == doc_id
+                ):
+                    query_id, _, replaced_id = stream[position]
+                    merged.append(
+                        Notification(
+                            query_id,
+                            document,
+                            documents_by_id[replaced_id]
+                            if replaced_id is not None
+                            else None,
+                        )
+                    )
+                    position += 1
+                positions[index] = position
+        return merged
+
+    def results(self, query_id: int) -> List[Document]:
+        self._check_open()
+        shard = self.shard_of(query_id)
+        doc_ids = self._request(shard, "results", query_id)
+        return [self._documents[doc_id] for doc_id in doc_ids]
+
+    def current_dr(self, query_id: int) -> float:
+        self._check_open()
+        return self._request(self.shard_of(query_id), "current_dr", query_id)
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def counters(self) -> Counters:
+        """Aggregated work counters across workers (one IPC round trip)."""
+        self._check_open()
+        total = Counters()
+        for shard_counters in self._broadcast("counters"):
+            total = total + shard_counters
+        total.docs_published //= self.n_shards
+        return total
+
+    def shard_loads(self) -> List[Dict[str, int]]:
+        self._check_open()
+        return self._broadcast("load")
+
+    # -- persistence --------------------------------------------------------
+
+    def checkpoint(self) -> Dict:
+        """Fan out checkpoints to every worker; combine as a sharded dict.
+
+        The payload is byte-identical in shape to
+        :func:`repro.persistence.checkpoint.checkpoint_sharded` on an
+        equivalent in-process sharded engine, so parallel and sharded
+        checkpoints are interchangeable (tests compare them directly).
+        As a side effect the journal resets — each worker's fresh
+        checkpoint becomes its recovery base — and the parent document
+        mirror is pruned to the ids the checkpoints still reference.
+        """
+        self._check_open()
+        payloads = self._broadcast("checkpoint")
+        self._checkpoints = list(payloads)
+        self._journal = []
+        referenced = set()
+        for shard_payload in payloads:
+            for record in shard_payload["documents"]:
+                referenced.add(int(record["id"]))
+        self._documents = {
+            doc_id: document
+            for doc_id, document in self._documents.items()
+            if doc_id in referenced
+        }
+        return {
+            "version": CHECKPOINT_VERSION,
+            "sharded": True,
+            "routing": self.routing,
+            "assignment": {
+                str(query_id): shard
+                for query_id, shard in sorted(self._assignment.items())
+            },
+            "next_round_robin": self._next_round_robin,
+            "shards": payloads,
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls, payload: Dict, **kwargs
+    ) -> "ParallelShardedEngine":
+        """Rebuild from a sharded checkpoint, one worker per shard entry.
+
+        Accepts the exact payloads produced by :meth:`checkpoint` *and*
+        by :func:`~repro.persistence.checkpoint.checkpoint_sharded` — a
+        single-process sharded deployment can be brought back up
+        process-parallel from its last checkpoint.
+        """
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        if not payload.get("sharded"):
+            raise ValueError(
+                "expected a sharded checkpoint (single-engine payloads "
+                "restore via repro.persistence.restore)"
+            )
+        shard_payloads = payload["shards"]
+        engine = cls(
+            len(shard_payloads),
+            config=_config_from_dict(shard_payloads[0]["config"]),
+            routing=payload["routing"],
+            **kwargs,
+        )
+        engine._assignment = {
+            int(query_id): int(shard)
+            for query_id, shard in payload["assignment"].items()
+        }
+        engine._next_round_robin = int(payload["next_round_robin"])
+        engine._last_query_id = (
+            max(engine._assignment) if engine._assignment else None
+        )
+        engine._checkpoints = list(shard_payloads)
+        for shard_payload in shard_payloads:
+            engine._now = max(engine._now, float(shard_payload["now"]))
+            for record in shard_payload["documents"]:
+                doc_id = int(record["id"])
+                if doc_id not in engine._documents:
+                    engine._documents[doc_id] = Document(
+                        doc_id,
+                        TermVector(
+                            {t: int(c) for t, c in record["tf"].items()}
+                        ),
+                        float(record["t"]),
+                        record.get("text"),
+                    )
+        if engine._documents:
+            engine._last_doc_id = max(engine._documents)
+        for shard, shard_payload in enumerate(shard_payloads):
+            engine._request(shard, "restore", shard_payload)
+        return engine
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def kill_worker(self, shard: int) -> None:
+        """Hard-kill one worker (chaos/test helper); no recovery yet —
+        the next op touching the shard detects the death and recovers."""
+        handle = self._workers[shard]
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(2.0)
+
+    def close(self) -> None:
+        """Stop every worker; the engine rejects ops afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            try:
+                handle.send("stop", vocab=self._vocab)
+                handle.recv()
+            except (ReproError, OSError):
+                pass
+            handle.close()
+
+    def __enter__(self) -> "ParallelShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 — interpreter may be tearing down
+            pass

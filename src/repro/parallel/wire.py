@@ -1,0 +1,112 @@
+"""Pickle-lean wire format between the parent and shard workers.
+
+Every message crossing a worker pipe is a flat tuple of ints, floats and
+short strings — never an engine object.  Documents in particular are
+shipped *pre-tokenized*: the parent interns each term against its master
+:class:`~repro.text.vocabulary.Vocabulary` once and sends term-id /
+term-count arrays, so a term string crosses the process boundary exactly
+once (inside a vocabulary delta) no matter how many documents contain
+it.  Workers keep a replica vocabulary in sync by applying the delta
+that prefixes every request (see :mod:`repro.parallel.worker`).
+
+Message framing (parent -> worker)::
+
+    (op, vocab_delta, *args)
+
+where ``vocab_delta`` is the list of master-vocabulary terms the worker
+has not seen yet, in id order — appending them to the replica reproduces
+the master's id assignment exactly.  Replies are ``("ok", result)`` or
+``("err", exc_type_name, message)``; errors are reconstructed on the
+parent from the :mod:`repro.errors` hierarchy by name so a worker-side
+:class:`~repro.errors.DocumentOrderError` raises as the same type in the
+caller.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro import errors as _errors
+from repro.core.query import DasQuery
+from repro.errors import ReproError
+from repro.stream.document import Document
+from repro.text.vectors import TermVector
+from repro.text.vocabulary import Vocabulary
+
+#: A document on the wire: (doc_id, created_at, term_ids, term_counts, text).
+DocumentPayload = Tuple[int, float, Tuple[int, ...], Tuple[int, ...], object]
+
+
+def encode_document(document: Document, vocab: Vocabulary) -> DocumentPayload:
+    """Intern the document's terms and return its wire tuple.
+
+    Term ids are ascending, mirroring :meth:`TermVector.packed`; counts
+    are the raw term frequencies so the worker can rebuild an identical
+    :class:`TermVector` (same norms, same packed arrays).
+    """
+    pairs = sorted(
+        (vocab.add(term), count) for term, count in document.vector.items()
+    )
+    return (
+        document.doc_id,
+        document.created_at,
+        tuple(pair[0] for pair in pairs),
+        tuple(pair[1] for pair in pairs),
+        document.text,
+    )
+
+
+def decode_document(payload: DocumentPayload, vocab: Vocabulary) -> Document:
+    """Inverse of :func:`encode_document` against the replica vocabulary."""
+    doc_id, created_at, ids, counts, text = payload
+    tf = {vocab.term_of(i): count for i, count in zip(ids, counts)}
+    return Document(int(doc_id), TermVector(tf), float(created_at), text)
+
+
+def encode_query_terms(
+    terms: Tuple[str, ...], vocab: Vocabulary
+) -> Tuple[int, ...]:
+    """Intern a query's keyword tuple as term ids."""
+    return tuple(vocab.add(term) for term in terms)
+
+
+def decode_query(
+    query_id: int, term_ids: Tuple[int, ...], vocab: Vocabulary
+) -> DasQuery:
+    """Rebuild a :class:`DasQuery` (it re-sorts and dedups internally)."""
+    return DasQuery(int(query_id), vocab.decode(term_ids))
+
+
+#: A notification on the wire: (query_id, doc_id, replaced_doc_id | None).
+NotificationPayload = Tuple[int, int, object]
+
+
+def encode_notifications(notifications) -> List[NotificationPayload]:
+    """Strip notifications to id triples; the parent re-attaches documents."""
+    return [
+        (
+            notification.query_id,
+            notification.document.doc_id,
+            notification.replaced.doc_id
+            if notification.replaced is not None
+            else None,
+        )
+        for notification in notifications
+    ]
+
+
+def encode_error(exc: BaseException) -> Tuple[str, str, str]:
+    return ("err", type(exc).__name__, str(exc))
+
+
+def decode_error(type_name: str, message: str) -> ReproError:
+    """Map a worker error back to its :mod:`repro.errors` class by name.
+
+    Unknown names (e.g. a worker-side ``ValueError``) degrade to the
+    base :class:`ReproError` with the original type recorded in the
+    message — the parent must never crash on an unrecognised error.
+    """
+    candidate = getattr(_errors, type_name, None)
+    if isinstance(candidate, type) and issubclass(candidate, ReproError):
+        return candidate(message)
+    return ReproError(f"{type_name}: {message}")

@@ -1,0 +1,119 @@
+"""The shard worker process: one DasEngine behind a request pipe.
+
+``worker_main`` is the spawn target — a plain importable module-level
+function, so it works under the ``spawn`` start method (the only one
+that is safe with an engine that may have imported NumPy).  The worker
+owns exactly one :class:`~repro.core.engine.DasEngine` shard plus a
+replica :class:`~repro.text.vocabulary.Vocabulary` that tracks the
+parent's master vocabulary through the delta prefixed to every request
+(see :mod:`repro.parallel.wire`).
+
+The loop is strictly request/reply over one duplex pipe; the parent
+pipelines broadcasts by sending to every worker before reading any
+reply, which is where the process-level parallelism comes from.
+
+Fault injection: the parent may hand the *initial* worker a fault-plan
+string.  Its ``worker.publish_batch`` point fires once per publish batch
+arrival; a raising action is **process-fatal** here — the worker exits
+hard (``os._exit``), modelling a real crash mid-protocol.  Restarted
+workers get no plan, so an injected crash is transient and recovery is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.core.engine import DasEngine
+from repro.errors import InjectedFaultError
+from repro.parallel.wire import (
+    decode_document,
+    decode_query,
+    encode_error,
+    encode_notifications,
+)
+from repro.persistence.checkpoint import (
+    _config_from_dict,
+    checkpoint,
+    restore,
+)
+from repro.text.vocabulary import Vocabulary
+
+
+def worker_main(
+    conn, config_payload: Dict, fault_plan: Optional[str] = None
+) -> None:
+    """Serve engine ops over ``conn`` until "stop" or pipe EOF."""
+    if fault_plan:
+        # Imported lazily: repro.simulation imports repro.parallel for
+        # its crash scenarios, so a module-level import here would cycle.
+        from repro.simulation.faults import FaultPlan
+
+        injector = FaultPlan.parse(fault_plan).injector()
+    else:
+        injector = None
+    vocab = Vocabulary()
+    config = _config_from_dict(config_payload)
+    engine = DasEngine(config)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        for term in message[1]:  # vocabulary delta, applied before the op
+            vocab.add(term)
+        args = message[2:]
+        if op == "stop":
+            conn.send(("ok", None))
+            break
+        if op == "crash":  # test/chaos helper: die without replying
+            os._exit(1)
+        try:
+            if op == "publish_batch" and injector is not None:
+                try:
+                    injector.fire("worker.publish_batch")
+                except InjectedFaultError:
+                    os._exit(1)  # a crash, not an error reply
+            result, engine = _dispatch(engine, vocab, op, args)
+        except Exception as exc:  # noqa: BLE001 — every error crosses the pipe
+            conn.send(encode_error(exc))
+        else:
+            conn.send(("ok", result))
+    conn.close()
+
+
+def _dispatch(engine: DasEngine, vocab: Vocabulary, op: str, args):
+    """Execute one op; returns (result, possibly-replaced engine)."""
+    if op == "publish_batch":
+        documents = [decode_document(payload, vocab) for payload in args[0]]
+        notifications = engine.publish_batch(documents)
+        return encode_notifications(notifications), engine
+    if op == "subscribe":
+        query = decode_query(args[0], args[1], vocab)
+        initial = engine.subscribe(query)
+        return [document.doc_id for document in initial], engine
+    if op == "unsubscribe":
+        engine.unsubscribe(args[0])
+        return None, engine
+    if op == "results":
+        return [d.doc_id for d in engine.results(args[0])], engine
+    if op == "current_dr":
+        return engine.current_dr(args[0]), engine
+    if op == "counters":
+        return engine.counters, engine
+    if op == "load":
+        return {
+            "queries": engine.query_count,
+            "postings": engine._index.posting_count,
+            "documents": len(engine.store),
+        }, engine
+    if op == "checkpoint":
+        return checkpoint(engine), engine
+    if op == "restore":
+        payload = args[0]
+        if payload is None:
+            return None, DasEngine(engine.config)
+        return None, restore(payload)
+    raise ValueError(f"unknown worker op {op!r}")

@@ -245,6 +245,13 @@ def save(
     """
     if isinstance(engine, ShardedDasEngine):
         payload = checkpoint_sharded(engine)
+    elif not isinstance(engine, DasEngine) and hasattr(engine, "checkpoint"):
+        # ParallelShardedEngine (duck-typed to avoid importing the
+        # multiprocessing stack here): fans the checkpoint out to its
+        # workers and combines the shard payloads into the exact
+        # ``checkpoint_sharded`` schema, so the file is indistinguishable
+        # from an in-process sharded engine's.
+        payload = engine.checkpoint()
     else:
         payload = checkpoint(engine)
     data = json.dumps(payload)
@@ -261,10 +268,23 @@ def save(
     os.replace(tmp_path, path)
 
 
-def load(path: str) -> Union[DasEngine, ShardedDasEngine]:
-    """Restore an engine from a JSON checkpoint file."""
+def load(
+    path: str, parallel: bool = False
+) -> Union[DasEngine, ShardedDasEngine]:
+    """Restore an engine from a JSON checkpoint file.
+
+    With ``parallel=True`` a sharded checkpoint comes back as a
+    :class:`repro.parallel.ParallelShardedEngine` — one worker process
+    per shard entry, each restored from its shard payload (sharded and
+    parallel checkpoints share one schema, so either deployment can
+    resume the other's file).
+    """
     with open(path) as handle:
         payload = json.load(handle)
     if payload.get("sharded"):
+        if parallel:
+            from repro.parallel import ParallelShardedEngine
+
+            return ParallelShardedEngine.from_checkpoint(payload)
         return restore_sharded(payload)
     return restore(payload)

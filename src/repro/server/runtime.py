@@ -46,7 +46,12 @@ from repro.core.engine import DasEngine
 from repro.core.events import Notification
 from repro.core.query import DasQuery
 from repro.distributed.sharded import ShardedDasEngine
-from repro.errors import ReproError, ServerClosedError, UnknownQueryError
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    ServerClosedError,
+    UnknownQueryError,
+)
 from repro.metrics.instrumentation import Counters
 from repro.pubsub.service import PublishSubscribeService
 from repro.server.batching import AdaptiveBatcher
@@ -111,6 +116,11 @@ class EngineFacade:
         return [self._engine]
 
     def _query_floor(self) -> int:
+        # Engines living out-of-process (ParallelShardedEngine) expose
+        # explicit floor hooks; in-process shapes are introspected.
+        floor = getattr(self._engine, "query_id_floor", None)
+        if floor is not None:
+            return floor()
         if isinstance(self._engine, ShardedDasEngine):
             assignment = self._engine._assignment
             return max(assignment) + 1 if assignment else 0
@@ -119,6 +129,9 @@ class EngineFacade:
         return 0 if last is None else last + 1
 
     def doc_id_floor(self) -> int:
+        floor = getattr(self._engine, "doc_id_floor", None)
+        if floor is not None:
+            return floor()
         floors = []
         for shard in self._shards():
             last = getattr(shard.store, "_last_id", None)
@@ -126,6 +139,9 @@ class EngineFacade:
         return max(floors) if floors else 0
 
     def clock_now(self) -> float:
+        now = getattr(self._engine, "clock_now", None)
+        if now is not None:
+            return now()
         return self._shards()[0].clock.now
 
     def subscribe(self, keywords: Iterable[str]) -> Tuple[int, List[Document]]:
@@ -161,8 +177,11 @@ class ServerRuntime:
     def __init__(
         self, engine: object, config: Optional[ServerConfig] = None
     ) -> None:
-        self._facade = EngineFacade(engine)
         self._config = config if config is not None else ServerConfig()
+        self._owns_engine = False
+        if self._config.parallel_workers > 1:
+            engine = self._parallelize(engine, self._config.parallel_workers)
+        self._facade = EngineFacade(engine)
         self._batcher = AdaptiveBatcher(self._config.max_batch_size)
         self._now = self._config.time_source or time.time
         self._injector = self._config.fault_injector
@@ -186,6 +205,33 @@ class ServerRuntime:
         self._unflushed = 0
         self._retired_drops = {policy: 0 for policy in SLOW_CONSUMER_POLICIES}
         self._retired_coalesced = 0
+
+    def _parallelize(self, engine: object, n_workers: int) -> object:
+        """Honour ``ServerConfig.parallel_workers``: move a fresh engine
+        into shard worker processes.
+
+        Only a fresh :class:`DasEngine` can be wrapped here (live state
+        is not shipped to workers; bring a checkpoint back up with
+        :meth:`repro.parallel.ParallelShardedEngine.from_checkpoint`
+        instead).  An engine that is already parallel is used as-is.
+        The runtime owns wrapped workers and stops them on ``stop()``.
+        """
+        from repro.parallel import ParallelShardedEngine
+
+        if isinstance(engine, ParallelShardedEngine):
+            return engine
+        if (
+            not isinstance(engine, DasEngine)
+            or engine.query_count
+            or len(engine.store)
+        ):
+            raise ConfigurationError(
+                "parallel_workers requires a fresh DasEngine "
+                "(or pass a ParallelShardedEngine directly)"
+            )
+        parallel = ParallelShardedEngine(n_workers, engine.config)
+        self._owns_engine = True
+        return parallel
 
     # -- introspection ----------------------------------------------------
 
@@ -264,6 +310,10 @@ class ServerRuntime:
         )
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._owns_engine:
+            close = getattr(self._facade.engine, "close", None)
+            if close is not None:
+                close()
         self._state = "stopped"
 
     def _fail_pending(self, exc: Exception) -> int:
@@ -404,7 +454,13 @@ class ServerRuntime:
             "failed_on_stop": self._failed_on_stop,
             "unflushed": self._unflushed,
             "counters": self._facade.counters().as_dict(),
+            "workers": self._worker_stats(),
         }
+
+    def _worker_stats(self) -> Optional[Dict[str, Any]]:
+        """Worker liveness/recovery section, None for in-process engines."""
+        worker_stats = getattr(self._facade.engine, "worker_stats", None)
+        return worker_stats() if worker_stats is not None else None
 
     # -- transport-facing dispatch ----------------------------------------
 

@@ -28,6 +28,7 @@ from repro.simulation.invariants import (
     InvariantMonitor,
     InvariantViolation,
 )
+from repro.simulation.parallel import run_parallel_crash_suite
 
 __all__ = [
     "FaultInjector",
@@ -45,4 +46,5 @@ __all__ = [
     "generate_random_plan",
     "generate_schedule",
     "run_default_suite",
+    "run_parallel_crash_suite",
 ]

@@ -38,6 +38,8 @@ INJECTION_POINTS = (
     "engine.results",  # matcher results op + coalesce snapshot reads
     "tcp.write",  # NdjsonTcpServer, before each outgoing frame
     "checkpoint.write",  # persistence.checkpoint.save, mid-write
+    "worker.publish_batch",  # parallel shard worker, per batch arrival;
+    #   raising actions are process-fatal there (the worker dies)
     "client.publish",  # harness: before submitting a publish op
     "consumer.pull",  # harness: before a consume op
 )

@@ -1,0 +1,200 @@
+"""Deterministic worker-crash scenarios for the parallel engine.
+
+Drives a :class:`~repro.parallel.ParallelShardedEngine` and a
+single-process :class:`~repro.core.engine.DasEngine` oracle through the
+same seeded op schedule, crashing workers along the way, and asserts the
+parallel engine recovers to an oracle-equal state:
+
+``clean``
+    No faults — baseline equivalence of the whole schedule.
+``injected_crash``
+    The ``worker.publish_batch`` injection point fires a raising action
+    inside worker 0, which is process-fatal there (the worker dies mid
+    protocol); the parent must detect the death, restart the worker
+    from its last checkpoint, replay the op journal and retry.
+``hard_kill``
+    ``SIGKILL`` to a worker at a fixed op index — death is discovered
+    by the *next* op that touches the shard.
+
+Every scenario takes a checkpoint partway so recovery exercises the
+checkpoint-plus-journal-replay path rather than a full-history replay.
+The report is a pure function of ``(seed, ops, workers)``: schedules
+come from a seeded RNG and nothing reads wall-clock time.
+
+This suite is intentionally *not* part of
+:func:`~repro.simulation.harness.run_default_suite` — the default
+suite's reports are committed and diffed byte-for-byte in CI, and
+spawning processes there would slow every chaos run.  The CLI exposes it
+separately via ``simulate --parallel-workers N``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.config import EngineConfig
+from repro.core.engine import DasEngine
+from repro.core.query import DasQuery
+from repro.parallel import ParallelShardedEngine
+from repro.workloads.corpus import SyntheticTweetCorpus
+from repro.workloads.queries import lqd_queries
+
+#: Relative tolerance for cross-process float comparison (the arithmetic
+#: is identical, so this only guards against repr/transport surprises).
+DR_TOLERANCE = 1e-9
+
+
+def _engine_config() -> EngineConfig:
+    return EngineConfig(k=4, block_size=8)
+
+
+def _note_set(notifications):
+    return {
+        (
+            n.query_id,
+            n.document.doc_id,
+            n.replaced.doc_id if n.replaced is not None else None,
+        )
+        for n in notifications
+    }
+
+
+def _run_scenario(
+    seed: int,
+    ops: int,
+    workers: int,
+    fault_plan: Optional[str] = None,
+    kill_at: Optional[int] = None,
+) -> Dict:
+    corpus = SyntheticTweetCorpus(
+        vocab_size=250, n_topics=8, doc_length=(4, 10), seed=seed
+    )
+    documents = corpus.documents(ops * 8)
+    queries = lqd_queries(corpus, max(1, ops), first_id=0)
+    config = _engine_config()
+
+    oracle = DasEngine(config)
+    parallel = ParallelShardedEngine(
+        workers, config, fault_plan=fault_plan, fault_shard=0
+    )
+    rng = random.Random(seed * 7919 + ops * 13 + workers)
+    checkpoint_at = max(1, ops // 3)
+
+    doc_cursor = 0
+    query_cursor = 0
+    subscribed: List[int] = []
+    mismatches: List[str] = []
+    events: List[str] = []
+    notifications_seen = 0
+
+    def check(label: str, ok: bool) -> None:
+        if not ok:
+            mismatches.append(label)
+
+    try:
+        for op_index in range(ops):
+            if op_index == checkpoint_at:
+                parallel.checkpoint()
+                events.append(f"checkpoint@{op_index}")
+            if kill_at is not None and op_index == kill_at:
+                parallel.kill_worker(0)
+                events.append(f"kill worker 0 @{op_index}")
+            roll = rng.random()
+            if roll < 0.30 and query_cursor < len(queries):
+                query = queries[query_cursor]
+                query_cursor += 1
+                initial_oracle = oracle.subscribe(query)
+                initial_parallel = parallel.subscribe(
+                    DasQuery(query.query_id, query.terms)
+                )
+                subscribed.append(query.query_id)
+                check(
+                    f"initial results of query {query.query_id}",
+                    [d.doc_id for d in initial_oracle]
+                    == [d.doc_id for d in initial_parallel],
+                )
+            elif roll < 0.40 and subscribed:
+                query_id = subscribed[rng.randrange(len(subscribed))]
+                check(
+                    f"results of query {query_id} @{op_index}",
+                    [d.doc_id for d in oracle.results(query_id)]
+                    == [d.doc_id for d in parallel.results(query_id)],
+                )
+            else:
+                size = rng.randint(1, 6)
+                batch = documents[doc_cursor : doc_cursor + size]
+                doc_cursor += size
+                if not batch:
+                    continue
+                oracle_notes = oracle.publish_batch(batch)
+                parallel_notes = parallel.publish_batch(batch)
+                notifications_seen += len(parallel_notes)
+                check(
+                    f"notifications @{op_index}",
+                    _note_set(oracle_notes) == _note_set(parallel_notes),
+                )
+        for query_id in subscribed:
+            check(
+                f"final results of query {query_id}",
+                [d.doc_id for d in oracle.results(query_id)]
+                == [d.doc_id for d in parallel.results(query_id)],
+            )
+            dr_oracle = oracle.current_dr(query_id)
+            dr_parallel = parallel.current_dr(query_id)
+            check(
+                f"final DR of query {query_id}",
+                abs(dr_oracle - dr_parallel)
+                <= DR_TOLERANCE * max(1.0, abs(dr_oracle)),
+            )
+        worker_stats = parallel.worker_stats()
+    finally:
+        parallel.close()
+    return {
+        "ops": ops,
+        "events": events,
+        "published": doc_cursor,
+        "subscribed": len(subscribed),
+        "notifications": notifications_seen,
+        "restarts": worker_stats["restarts"],
+        "recoveries": worker_stats["recoveries"],
+        "mismatches": mismatches,
+        "ok": not mismatches,
+    }
+
+
+def run_parallel_crash_suite(
+    seed: int = 0, ops: int = 40, workers: int = 2
+) -> Dict:
+    """Run the three scenarios; report is deterministic for fixed args."""
+    crash_arrival = max(2, ops // 4)
+    scenarios = {
+        "clean": _run_scenario(seed, ops, workers),
+        "injected_crash": _run_scenario(
+            seed,
+            ops,
+            workers,
+            fault_plan=f"worker.publish_batch@{crash_arrival}:raise",
+        ),
+        "hard_kill": _run_scenario(
+            seed, ops, workers, kill_at=max(2, ops // 2)
+        ),
+    }
+    recovered = (
+        sum(scenarios["injected_crash"]["restarts"]) >= 1
+        and sum(scenarios["hard_kill"]["restarts"]) >= 1
+    )
+    if not recovered:
+        for name in ("injected_crash", "hard_kill"):
+            if not sum(scenarios[name]["restarts"]):
+                scenarios[name]["mismatches"].append(
+                    "expected at least one worker restart"
+                )
+                scenarios[name]["ok"] = False
+    return {
+        "suite": "parallel_crash",
+        "seed": seed,
+        "workers": workers,
+        "scenarios": scenarios,
+        "ok": all(s["ok"] for s in scenarios.values()),
+    }

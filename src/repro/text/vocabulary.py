@@ -56,6 +56,15 @@ class Vocabulary:
         """Inverse of :meth:`encode`."""
         return [self._id_to_term[i] for i in ids]
 
+    def tail(self, start: int) -> List[str]:
+        """Terms with ids ``>= start``, in id order.
+
+        The sync primitive for replica vocabularies (see
+        ``repro.parallel``): a replica that has applied ids ``< start``
+        becomes current by appending exactly these terms in order.
+        """
+        return self._id_to_term[start:]
+
 
 #: Process-wide vocabulary shared by every :class:`TermVector`'s packed
 #: term-id representation (see ``text/vectors.py``).  Ids are opaque

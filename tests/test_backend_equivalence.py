@@ -139,10 +139,48 @@ def test_numpy_matches_python_with_unsubscribes():
 
 
 @needs_numpy
-def test_auto_backend_prefers_numpy():
+def test_auto_backend_is_adaptive():
     engine = DasEngine.for_method("GIFilter", k=2, block_size=2)
-    assert engine.backend_name == "numpy"
+    assert engine.backend_name == "auto"
     explicit = DasEngine.for_method(
         "GIFilter", k=2, block_size=2, backend="python"
     )
     assert explicit.backend_name == "python"
+
+
+@needs_numpy
+def test_auto_matches_pure_backends():
+    """The adaptive dispatcher must be decision-equivalent to both pure
+    backends across the crossover (small and large result sets)."""
+    from repro.kernels import AdaptiveKernels, resolve_backend
+
+    docs, queries = make_workload(seed=13)
+    py = run_engine("GIFilter", "python", docs, queries)
+    for min_rows in (2, 64):  # force the numpy / python side of the split
+        auto = AdaptiveKernels(
+            resolve_backend("python"),
+            resolve_backend("numpy"),
+            min_rows=min_rows,
+            min_cover=min_rows,
+        )
+        engine = DasEngine.for_method("GIFilter", k=4, block_size=4)
+        engine._kernels = auto
+        log = []
+
+        def record(notifications):
+            for n in notifications:
+                log.append(
+                    (
+                        n.query_id,
+                        n.document.doc_id,
+                        n.replaced.doc_id if n.replaced is not None else None,
+                    )
+                )
+
+        for document in docs[:50]:
+            record(engine.publish(document))
+        for query in queries:
+            engine.subscribe(query)
+        for document in docs[50:]:
+            record(engine.publish(document))
+        assert log == py[0], min_rows

@@ -1,0 +1,150 @@
+"""Tests for the benchmark regression gate (ISSUE 4 satellite e)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from benchmarks.regression_gate import (
+    DEFAULT_TOLERANCE,
+    collect_rates,
+    compare,
+    default_tolerance,
+    main,
+)
+
+SERVER_PAYLOAD = {
+    "benchmark": "server_throughput",
+    "environment": {"cpu_count": 1},
+    "results": {
+        "1": {"docs_per_sec": 5000.0, "rounds": [5000.0], "batches": 100,
+              "max_batch": 4},
+        "4": {"docs_per_sec": 9000.0, "rounds": [9000.0], "batches": 50,
+              "max_batch": 16},
+    },
+    "parallel_workers": {
+        "0": {"docs_per_sec": 9000.0, "speedup_vs_inprocess": 1.0},
+        "2": {"docs_per_sec": 4000.0, "speedup_vs_inprocess": 0.44},
+    },
+}
+
+PUBLISH_PAYLOAD = {
+    "benchmark": "publish_throughput",
+    "spec": {"n_queries": 2000},
+    "results": {
+        "GIFilter": {"python": 1500.0, "numpy": 700.0},
+        "IRT": {"python": 50.0},
+    },
+    "gifilter_numpy_vs_python_speedup": 0.46,
+}
+
+
+def _scaled(payload, factor):
+    text = json.loads(json.dumps(payload))
+
+    def scale(node):
+        for key, value in node.items():
+            if key == "docs_per_sec":
+                node[key] = value * factor
+            elif isinstance(value, dict):
+                scale(value)
+    scale(text["results"])
+    if "parallel_workers" in text:
+        scale(text["parallel_workers"])
+    if text["benchmark"] == "publish_throughput":
+        for variants in text["results"].values():
+            for label in variants:
+                variants[label] *= factor
+    return text
+
+
+def test_collect_rates_server_schema():
+    rates = collect_rates(SERVER_PAYLOAD)
+    # Rate keys only: counters (batches/max_batch), rounds lists and
+    # speedups are not gated.
+    assert rates == {
+        "results.1": 5000.0,
+        "results.4": 9000.0,
+        "parallel_workers.0": 9000.0,
+        "parallel_workers.2": 4000.0,
+    }
+
+
+def test_collect_rates_publish_schema():
+    rates = collect_rates(PUBLISH_PAYLOAD)
+    assert rates == {
+        "results.GIFilter.python": 1500.0,
+        "results.GIFilter.numpy": 700.0,
+        "results.IRT.python": 50.0,
+    }
+
+
+def test_compare_within_tolerance_passes():
+    fresh = _scaled(SERVER_PAYLOAD, 0.85)  # -15 % < 20 % tolerance
+    entries = compare(SERVER_PAYLOAD, fresh, 0.20)
+    assert all(status == "ok" for _, _, _, status in entries)
+
+
+def test_compare_flags_regressions():
+    fresh = _scaled(SERVER_PAYLOAD, 0.70)  # -30 % > 20 % tolerance
+    entries = compare(SERVER_PAYLOAD, fresh, 0.20)
+    assert all(status == "regressed" for _, _, _, status in entries)
+    # Improvements never fail.
+    entries = compare(SERVER_PAYLOAD, _scaled(SERVER_PAYLOAD, 2.0), 0.20)
+    assert all(status == "ok" for _, _, _, status in entries)
+
+
+def test_compare_missing_and_new_keys():
+    fresh = json.loads(json.dumps(PUBLISH_PAYLOAD))
+    del fresh["results"]["IRT"]
+    fresh["results"]["GIFilter"]["auto"] = 1400.0
+    statuses = {key: status for key, _, _, status in
+                compare(PUBLISH_PAYLOAD, fresh, 0.20)}
+    assert statuses["results.IRT.python"] == "missing"
+    assert statuses["results.GIFilter.auto"] == "new"
+    assert statuses["results.GIFilter.python"] == "ok"
+
+
+def test_tolerance_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_TOLERANCE", raising=False)
+    assert default_tolerance() == DEFAULT_TOLERANCE
+    monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "0.35")
+    assert default_tolerance() == 0.35
+    monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "nope")
+    assert default_tolerance() == DEFAULT_TOLERANCE
+    monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "1.5")
+    assert default_tolerance() == DEFAULT_TOLERANCE
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(SERVER_PAYLOAD))
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(_scaled(SERVER_PAYLOAD, 0.9)))
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(_scaled(SERVER_PAYLOAD, 0.5)))
+
+    assert main([str(baseline), str(good)]) == 0
+    assert "PASS" in capsys.readouterr().out
+    assert main([str(baseline), str(bad)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+    # A clean pair does not mask a regressed one.
+    assert main([str(baseline), str(good), str(baseline), str(bad)]) == 1
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main([str(baseline)])  # unpaired
+
+
+def test_committed_baselines_gate_themselves():
+    """The real BENCH_*.json files pass against themselves (ratio 1.0)."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for name in ("BENCH_server.json", "BENCH_throughput.json"):
+        path = os.path.join(root, name)
+        with open(path) as handle:
+            payload = json.load(handle)
+        rates = collect_rates(payload)
+        assert rates, name  # every committed baseline exposes gated rates
+        entries = compare(payload, payload, 0.20)
+        assert all(status == "ok" for _, _, _, status in entries), name

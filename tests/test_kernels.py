@@ -55,7 +55,7 @@ def make_entries(rng: random.Random, n: int, first_id: int = 0):
 
 def test_backend_choices_resolve():
     assert resolve_backend("python").name == "python"
-    assert resolve_backend("auto").name in ("python", "numpy")
+    assert resolve_backend("auto").name in ("python", "auto")
     assert default_kernels().name == "python"
     assert set(BACKEND_CHOICES) == {"auto", "python", "numpy"}
 
@@ -68,7 +68,10 @@ def test_unknown_backend_rejected():
 @pytest.mark.skipif(not numpy_available(), reason="NumPy not importable")
 def test_numpy_backend_resolves():
     assert resolve_backend("numpy").name == "numpy"
-    assert resolve_backend("auto").name == "numpy"
+    # With NumPy importable, "auto" is the shape-adaptive dispatcher.
+    auto = resolve_backend("auto")
+    assert auto.name == "auto"
+    assert auto is resolve_backend("auto")
 
 
 def test_numpy_absent_fallback(monkeypatch):

@@ -79,7 +79,7 @@ def test_every_action_is_classified():
     assert set(RAISING_ACTIONS) & set(HARNESS_ACTIONS) == set()
     assert "raise" in RAISING_ACTIONS
     assert "stall" in HARNESS_ACTIONS
-    assert len(INJECTION_POINTS) == 8
+    assert len(INJECTION_POINTS) == 9
 
 
 # -- injector mechanics --------------------------------------------------
