@@ -54,6 +54,7 @@ from repro.scoring.relevance import LanguageModelScorer
 from repro.stream.clock import SimulationClock
 from repro.stream.document import Document
 from repro.stream.document_store import DocumentStore
+from repro.telemetry import Telemetry
 from repro.text.collection_stats import CollectionStatistics
 class DasEngine:
     """Continuous top-k diversity-aware publish/subscribe."""
@@ -66,6 +67,7 @@ class DasEngine:
         store: Optional[DocumentStore] = None,
         counters: Optional[Counters] = None,
         init_strategy: str = "relevant",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._config = config if config is not None else EngineConfig()
         self._clock = clock if clock is not None else SimulationClock()
@@ -104,6 +106,10 @@ class DasEngine:
         self._last_query_id: Optional[int] = None
         self._init_strategy = init_strategy
         self.counters = counters if counters is not None else Counters()
+        self.telemetry = telemetry
+        #: The active publish's observation; set only while telemetry is
+        #: attached and a publish is in flight (hot paths branch on it).
+        self._obs = None
 
     # -- constructors -----------------------------------------------------
 
@@ -171,6 +177,14 @@ class DasEngine:
         if cfg.use_agg_weights:
             return "IFilter" if cfg.use_blocks else "IRT+AW"
         return "BIRT" if cfg.use_blocks else "IRT"
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach (or replace) the engine's telemetry instance."""
+        self.telemetry = telemetry
+
+    def telemetry_snapshot(self) -> Optional[Dict]:
+        """Mergeable telemetry snapshot, or None without telemetry."""
+        return self.telemetry.snapshot() if self.telemetry is not None else None
 
     def results(self, query_id: int) -> List[Document]:
         """Current result set of a query, newest first."""
@@ -372,6 +386,29 @@ class DasEngine:
         document: Document,
         lists_memo: Dict[str, Optional[PostingsList]],
     ) -> List[Notification]:
+        """Telemetry shell around :meth:`_publish_core`: one publish span
+        per document, with per-stage latency attribution and (for sampled
+        documents) a counter-delta trace."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._publish_core(document, lists_memo)
+        observation = telemetry.begin_publish(document.doc_id, self.counters)
+        self._obs = observation
+        try:
+            notifications = self._publish_core(document, lists_memo)
+        except BaseException:
+            telemetry.abort_publish(observation)
+            raise
+        finally:
+            self._obs = None
+        telemetry.end_publish(observation, self.counters)
+        return notifications
+
+    def _publish_core(
+        self,
+        document: Document,
+        lists_memo: Dict[str, Optional[PostingsList]],
+    ) -> List[Notification]:
         """Algorithm 2 for one document; ``lists_memo`` caches postings
         lookups for the enclosing batch (the index is frozen while a
         publish call runs)."""
@@ -421,9 +458,18 @@ class DasEngine:
             block = blocks[block_index]
             skipped = False
             if offset == 0 and use_blocks:
-                if self._try_skip_block(
-                    term, block, ps_cache, document, cursors, lists, now
-                ):
+                obs = self._obs
+                if obs is None:
+                    skip = self._try_skip_block(
+                        term, block, ps_cache, document, cursors, lists, now
+                    )
+                else:
+                    entered = obs.time()
+                    skip = self._try_skip_block(
+                        term, block, ps_cache, document, cursors, lists, now
+                    )
+                    obs.add("group_filter", obs.time() - entered)
+                if skip:
                     self.counters.blocks_skipped += 1
                     # The group bound covers the filled members only;
                     # warm-up members must still see the document.
@@ -521,8 +567,16 @@ class DasEngine:
         now: float,
         notifications: List[Notification],
     ) -> None:
-        """Individual filtering steps (Section 6.2) for one query."""
+        """Individual filtering steps (Section 6.2) for one query.
+
+        Telemetry attribution: time from entry until the admit/replace
+        decision counts as ``individual_filter``; the mutation itself
+        (result-set update, store pinning, notification, block
+        invalidation) counts as ``result_update``.
+        """
         self.counters.queries_evaluated += 1
+        obs = self._obs
+        entered = obs.time() if obs is not None else 0.0
         query = self._queries[query_id]
         result_set = self._result_sets[query_id]
         vector = document.vector
@@ -531,6 +585,10 @@ class DasEngine:
 
         if not result_set.is_full:
             # Warm-up: every matching document is admitted until |R| = k.
+            if obs is not None:
+                mutated = obs.time()
+                obs.add("individual_filter", mutated - entered)
+                entered = mutated
             sims = result_set.similarities_to(vector)
             self.counters.sim_evaluations += len(sims)
             result_set.admit(document, trel, sims)
@@ -546,6 +604,8 @@ class DasEngine:
                 for _term, block in self._memberships[query_id]:
                     block.mcs_sets = None
                     block.mcs_initial_count = 0
+            if obs is not None:
+                obs.add("result_update", obs.time() - entered)
             return
 
         dr_oldest = result_set.dr_oldest(
@@ -553,6 +613,8 @@ class DasEngine:
         )
         if quick_relevance_bound(trel, config.alpha) <= dr_oldest + TIE_EPSILON:
             self.counters.quick_rejections += 1
+            if obs is not None:
+                obs.add("individual_filter", obs.time() - entered)
             return
         sim_sum, direct, aw_used = result_set.similarity_sum(vector)
         self.counters.sim_evaluations += direct
@@ -561,8 +623,14 @@ class DasEngine:
             config.alpha * trel + self._coeff * ((config.k - 1) - sim_sum)
         )
         if not accepts(dr_new, dr_oldest):
+            if obs is not None:
+                obs.add("individual_filter", obs.time() - entered)
             return
 
+        if obs is not None:
+            mutated = obs.time()
+            obs.add("individual_filter", mutated - entered)
+            entered = mutated
         sims_kept = result_set.similarities_to_kept(vector)
         self.counters.sim_evaluations += len(sims_kept)
         evicted = result_set.replace(document, trel, sims_kept)
@@ -571,6 +639,8 @@ class DasEngine:
         self.counters.matches += 1
         notifications.append(Notification(query_id, document, evicted))
         self._on_result_updated(query, result_set, evicted)
+        if obs is not None:
+            obs.add("result_update", obs.time() - entered)
 
     # -- index maintenance (Section 7.1) ------------------------------------------
 

@@ -33,6 +33,7 @@ from repro.errors import DuplicateQueryError, UnknownQueryError
 from repro.metrics.instrumentation import Counters
 from repro.scoring.recency import CachedDecay
 from repro.stream.document import Document
+from repro.telemetry import Telemetry, merge_snapshots
 
 ROUTING_POLICIES = ("round_robin", "hash", "least_loaded")
 
@@ -46,6 +47,7 @@ class ShardedDasEngine:
         config: Optional[EngineConfig] = None,
         routing: str = "round_robin",
         engine_factory: Optional[Callable[[], DasEngine]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -55,7 +57,11 @@ class ShardedDasEngine:
             )
         if engine_factory is None:
             base_config = config if config is not None else EngineConfig()
-            engine_factory = lambda: DasEngine(base_config)  # noqa: E731
+            # One shared Telemetry across shards: a broadcast document is
+            # one logical publish, but each shard contributes a span.
+            engine_factory = lambda: DasEngine(  # noqa: E731
+                base_config, telemetry=telemetry
+            )
         self.shards: List[DasEngine] = [engine_factory() for _ in range(n_shards)]
         self.routing = routing
         self._assignment: Dict[int, int] = {}
@@ -195,6 +201,33 @@ class ShardedDasEngine:
         # docs_published is per-shard (broadcast); report logical docs.
         total.docs_published //= self.n_shards
         return total
+
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The first shard's telemetry (shards typically share one)."""
+        return self.shards[0].telemetry
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach one shared telemetry instance to every shard."""
+        for shard in self.shards:
+            shard.attach_telemetry(telemetry)
+
+    def telemetry_snapshot(self) -> Optional[Dict]:
+        """Merged telemetry across shards, deduplicated by instance.
+
+        Shards built by the default factory share one ``Telemetry``
+        object; counting it once per shard would multiply every
+        histogram by ``n_shards``.  Distinct instances (custom
+        factories) merge normally.
+        """
+        seen: Dict[int, Dict] = {}
+        for shard in self.shards:
+            telemetry = shard.telemetry
+            if telemetry is not None and id(telemetry) not in seen:
+                seen[id(telemetry)] = telemetry.snapshot()
+        if not seen:
+            return None
+        return merge_snapshots(seen.values())
 
     def shard_loads(self) -> List[Dict[str, int]]:
         """Per-shard load report: queries, postings, stored documents."""

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments.cli run fig6 fig10
     python -m repro.experiments.cli run all --scale tiny --out results/
     python -m repro.experiments.cli serve --port 8765 --method GIFilter
+    python -m repro.experiments.cli metrics --port 8765
     python -m repro.experiments.cli simulate --seed 42
     python -m repro.experiments.cli simulate --seed 7 --plan 'engine.doc@5:raise'
 """
@@ -156,6 +157,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap on the adaptive micro-batch size (default: 64)",
     )
 
+    metrics = commands.add_parser(
+        "metrics",
+        help="scrape a running server's metrics (Prometheus text)",
+        description=(
+            "Connect to a running serve instance, issue one 'metrics' "
+            "request, and print the Prometheus text exposition: engine "
+            "work counters, per-stage latency histograms, span "
+            "accounting, and filtering-effectiveness gauges."
+        ),
+    )
+    metrics.add_argument(
+        "--host", default="127.0.0.1", help="server address"
+    )
+    metrics.add_argument(
+        "--port", type=int, default=8765, help="server port (default: 8765)"
+    )
+
     simulate = commands.add_parser(
         "simulate",
         help="run the deterministic fault-injection harness",
@@ -254,6 +272,22 @@ def run_serve(args) -> int:
     return 0
 
 
+async def _metrics(args) -> str:
+    from repro.server import NdjsonTcpClient
+
+    client = await NdjsonTcpClient.connect(args.host, args.port)
+    try:
+        return await client.metrics()
+    finally:
+        await client.close()
+
+
+def run_metrics(args) -> int:
+    text = asyncio.run(_metrics(args))
+    print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
 def run_simulate(args) -> int:
     """Run the fault-injection harness; exit non-zero on any violation."""
     import json
@@ -331,6 +365,8 @@ def main(argv: Sequence[str] = None) -> int:
         return 0
     if args.command == "serve":
         return run_serve(args)
+    if args.command == "metrics":
+        return run_metrics(args)
     if args.command == "simulate":
         return run_simulate(args)
     run_figures(args.figures, args.scale, args.out)

@@ -45,6 +45,16 @@ class Counters:
             }
         )
 
+    def load(self, values: Dict[str, int]) -> None:
+        """Overwrite every counter from a dict (checkpoint restore).
+
+        Unknown keys are ignored so newer checkpoints stay loadable;
+        fields absent from ``values`` keep their current value.
+        """
+        for f in fields(self):
+            if f.name in values:
+                setattr(self, f.name, int(values[f.name]))
+
     def reset(self) -> None:
         for f in fields(self):
             setattr(self, f.name, 0)

@@ -58,6 +58,7 @@ from repro.persistence.checkpoint import (
     _config_to_dict,
 )
 from repro.stream.document import Document
+from repro.telemetry import merge_snapshots
 from repro.text.vectors import TermVector
 from repro.text.vocabulary import GLOBAL_VOCABULARY, Vocabulary
 
@@ -438,6 +439,19 @@ class ParallelShardedEngine:
     def shard_loads(self) -> List[Dict[str, int]]:
         self._check_open()
         return self._broadcast("load")
+
+    def telemetry_snapshot(self) -> Optional[Dict]:
+        """Parent-side merge of every worker's telemetry snapshot.
+
+        Workers return JSON-safe wire forms over the pipe; histogram
+        merge is associative and commutative, so the aggregate is
+        independent of worker reply order.
+        """
+        self._check_open()
+        snapshots = self._broadcast("telemetry")
+        if all(snapshot is None for snapshot in snapshots):
+            return None
+        return merge_snapshots(snapshots)
 
     # -- persistence --------------------------------------------------------
 

@@ -38,6 +38,7 @@ from repro.persistence.checkpoint import (
     checkpoint,
     restore,
 )
+from repro.telemetry import Telemetry
 from repro.text.vocabulary import Vocabulary
 
 
@@ -55,7 +56,7 @@ def worker_main(
         injector = None
     vocab = Vocabulary()
     config = _config_from_dict(config_payload)
-    engine = DasEngine(config)
+    engine = DasEngine(config, telemetry=Telemetry())
     while True:
         try:
             message = conn.recv()
@@ -103,6 +104,8 @@ def _dispatch(engine: DasEngine, vocab: Vocabulary, op: str, args):
         return engine.current_dr(args[0]), engine
     if op == "counters":
         return engine.counters, engine
+    if op == "telemetry":
+        return engine.telemetry_snapshot(), engine
     if op == "load":
         return {
             "queries": engine.query_count,
@@ -114,6 +117,8 @@ def _dispatch(engine: DasEngine, vocab: Vocabulary, op: str, args):
     if op == "restore":
         payload = args[0]
         if payload is None:
-            return None, DasEngine(engine.config)
-        return None, restore(payload)
+            return None, DasEngine(engine.config, telemetry=Telemetry())
+        restored = restore(payload)
+        restored.attach_telemetry(Telemetry())
+        return None, restored
     raise ValueError(f"unknown worker op {op!r}")

@@ -99,6 +99,7 @@ def checkpoint(engine: DasEngine) -> Dict:
         },
         "documents": documents,
         "queries": queries,
+        "counters": engine.counters.as_dict(),
     }
 
 
@@ -140,6 +141,15 @@ def restore(payload: Dict) -> DasEngine:
         _restore_query(engine, query, record["results"])
 
     engine.clock.advance_to(float(payload["now"]))
+
+    # Work counters are restored wholesale, *after* rebuilding, so the
+    # recovered engine continues the original's accounting instead of
+    # re-counting the rebuild as fresh work (the rebuild above bumps
+    # e.g. queries_subscribed; without this, a crash-recovered engine
+    # double-counts everything that happened before the checkpoint).
+    # Pre-counters checkpoints keep the rebuild-produced values.
+    if "counters" in payload:
+        engine.counters.load(payload["counters"])
     return engine
 
 

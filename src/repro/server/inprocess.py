@@ -81,6 +81,11 @@ class InProcessClient:
         reply = await self.request({"op": "stats"})
         return reply["stats"]
 
+    async def metrics(self) -> str:
+        """Prometheus text exposition of the server's telemetry."""
+        reply = await self.request({"op": "metrics"})
+        return reply["metrics"]
+
     # -- delivery ---------------------------------------------------------
 
     async def next_message(

@@ -17,6 +17,7 @@ op                    fields
 ``publish``           ``tokens`` (list) or ``text``; optional ``created_at``
 ``results``           ``query_id``
 ``stats``             —
+``metrics``           — (reply carries Prometheus exposition text)
 ====================  =====================================================
 
 Replies are ``{"ok": true, "reply_to": ..., ...}`` on success and
@@ -38,7 +39,14 @@ from repro.errors import ProtocolError, ReproError
 from repro.stream.document import Document
 
 #: Request operations understood by the serving runtime.
-REQUEST_OPS = ("subscribe", "unsubscribe", "publish", "results", "stats")
+REQUEST_OPS = (
+    "subscribe",
+    "unsubscribe",
+    "publish",
+    "results",
+    "stats",
+    "metrics",
+)
 
 #: repro error-class name -> class, for structured client-side re-raising.
 ERROR_TYPES: Dict[str, type] = {

@@ -65,6 +65,14 @@ from repro.server.protocol import (
 )
 from repro.server.sessions import SubscriberSession
 from repro.stream.document import Document
+from repro.telemetry import (
+    PIPELINE_STAGES,
+    LatencyHistogram,
+    Telemetry,
+    effectiveness_gauges,
+    empty_snapshot,
+    render_exposition,
+)
 
 #: Sentinel queued by ``stop`` after the last accepted item (FIFO puts
 #: guarantee nothing lands behind it once submissions are rejected).
@@ -72,13 +80,18 @@ _STOP = object()
 
 
 class _PublishItem:
-    __slots__ = ("tokens", "text", "created_at", "future")
+    __slots__ = ("tokens", "text", "created_at", "future", "enqueued_at")
 
-    def __init__(self, tokens, text, created_at, future) -> None:
+    def __init__(
+        self, tokens, text, created_at, future, enqueued_at=0.0
+    ) -> None:
         self.tokens = tokens
         self.text = text
         self.created_at = created_at
         self.future = future
+        #: Runtime clock reading at ingest-queue admission; the matcher
+        #: observes ``dequeue - enqueued_at`` as ingest-queue wait.
+        self.enqueued_at = enqueued_at
 
 
 class _ControlItem:
@@ -170,6 +183,28 @@ class EngineFacade:
             return self._engine.engine.counters
         return self._engine.counters
 
+    def _telemetry_owner(self) -> object:
+        """The object carrying telemetry (the service wraps its engine)."""
+        return self._engine.engine if self._is_service else self._engine
+
+    def ensure_telemetry(self) -> None:
+        """Attach a default wall-clock telemetry if the engine has none.
+
+        No-op for engines that already carry one (e.g. the simulation
+        harness wires a deterministic clock before starting the runtime)
+        and for shapes without an ``attach_telemetry`` hook (parallel
+        workers create their own telemetry in-process).
+        """
+        owner = self._telemetry_owner()
+        attach = getattr(owner, "attach_telemetry", None)
+        if attach is not None and getattr(owner, "telemetry", None) is None:
+            attach(Telemetry())
+
+    def telemetry_snapshot(self) -> Optional[Dict]:
+        owner = self._telemetry_owner()
+        snapshot = getattr(owner, "telemetry_snapshot", None)
+        return snapshot() if snapshot is not None else None
+
 
 class ServerRuntime:
     """Async serving runtime around any engine-like object."""
@@ -205,6 +240,11 @@ class ServerRuntime:
         self._unflushed = 0
         self._retired_drops = {policy: 0 for policy in SLOW_CONSUMER_POLICIES}
         self._retired_coalesced = 0
+        #: Serving-pipeline stage histograms (engine stages live in the
+        #: engine's Telemetry; merged into one surface by stats()).
+        self._pipeline = {
+            stage: LatencyHistogram() for stage in PIPELINE_STAGES
+        }
 
     def _parallelize(self, engine: object, n_workers: int) -> object:
         """Honour ``ServerConfig.parallel_workers``: move a fresh engine
@@ -260,6 +300,7 @@ class ServerRuntime:
             )
         self._next_doc_id = self._facade.doc_id_floor()
         self._last_created_at = self._facade.clock_now()
+        self._facade.ensure_telemetry()
         self._matcher_task = asyncio.create_task(self._matcher_loop())
         self._state = "running"
 
@@ -422,7 +463,9 @@ class ServerRuntime:
             self._injector.fire("ingest.put")
         future = self._loop.create_future()
         await self._ingest.put(
-            _PublishItem(tokens, text, created_at, future)
+            _PublishItem(
+                tokens, text, created_at, future, enqueued_at=self._now()
+            )
         )
         return await future
 
@@ -437,6 +480,7 @@ class ServerRuntime:
         for session in self._sessions.values():
             drops[session.policy] += session.dropped
             coalesced += session.coalesced
+        counters = self._facade.counters().as_dict()
         return {
             "state": self._state,
             "accepted": self._accepted,
@@ -453,14 +497,50 @@ class ServerRuntime:
             "delivery_errors": self._delivery_errors,
             "failed_on_stop": self._failed_on_stop,
             "unflushed": self._unflushed,
-            "counters": self._facade.counters().as_dict(),
+            "counters": counters,
             "workers": self._worker_stats(),
+            "telemetry": self._telemetry_section(counters),
         }
 
     def _worker_stats(self) -> Optional[Dict[str, Any]]:
         """Worker liveness/recovery section, None for in-process engines."""
         worker_stats = getattr(self._facade.engine, "worker_stats", None)
         return worker_stats() if worker_stats is not None else None
+
+    def _telemetry_section(self, counters: Dict[str, int]) -> Dict[str, Any]:
+        """One unified telemetry view: engine stages (merged across
+        shards/workers), serving-pipeline stages, span accounting, and
+        the derived filtering-effectiveness gauges."""
+        snapshot = self._facade.telemetry_snapshot()
+        if snapshot is None:
+            snapshot = empty_snapshot()
+        stages = dict(snapshot["stages"])
+        for stage, histogram in self._pipeline.items():
+            stages[stage] = histogram.to_wire()
+        return {
+            "stages": stages,
+            "spans": snapshot["spans"],
+            "effectiveness": effectiveness_gauges(counters),
+        }
+
+    def metrics_text(self) -> str:
+        """The ``metrics`` op payload: Prometheus text exposition."""
+        counters = self._facade.counters().as_dict()
+        telemetry = self._telemetry_section(counters)
+        gauges = {
+            "repro_batch_target": self._batcher.target,
+            "repro_ingest_queue_depth": (
+                self._ingest.qsize() if self._ingest else 0
+            ),
+            "repro_sessions_open": len(self._sessions),
+        }
+        return render_exposition(
+            counters,
+            telemetry["stages"],
+            telemetry["spans"],
+            telemetry["effectiveness"],
+            gauges=gauges,
+        )
 
     # -- transport-facing dispatch ----------------------------------------
 
@@ -501,6 +581,8 @@ class ServerRuntime:
                     query_id=request["query_id"],
                     results=[document_payload(doc) for doc in documents],
                 )
+            if op == "metrics":
+                return ok_reply(reply_to, metrics=self.metrics_text())
             return ok_reply(reply_to, stats=self.stats())
         except ReproError as exc:
             return error_reply(exc, reply_to)
@@ -600,8 +682,13 @@ class ServerRuntime:
                 item.future.set_result(result)
 
     async def _run_publish_batch(self, items: List[_PublishItem]) -> None:
+        dequeued_at = self._now()
+        ingest_histogram = self._pipeline["ingest_queue"]
         prepared = []
         for item in items:
+            ingest_histogram.observe(
+                max(0.0, dequeued_at - item.enqueued_at)
+            )
             doc_id = self._next_doc_id
             self._next_doc_id += 1
             if item.created_at is not None:
@@ -635,8 +722,12 @@ class ServerRuntime:
         try:
             if self._injector is not None:
                 self._injector.fire("engine.publish_batch")
+            batch_started = self._now()
             documents, notifications = await self._call_engine(
                 _build_and_publish
+            )
+            self._pipeline["micro_batch"].observe(
+                max(0.0, self._now() - batch_started)
             )
         except Exception as exc:
             self._matcher_errors += 1
@@ -645,12 +736,17 @@ class ServerRuntime:
                     publish_item.future.set_exception(exc)
             return
         self._published += len(documents)
+        notify_started = self._now()
         try:
             await self._route(notifications)
         except Exception:
             # Delivery failures must not fail the publish acks: the
             # documents *are* in the engine.  Count and move on.
             self._delivery_errors += 1
+        finally:
+            self._pipeline["notify"].observe(
+                max(0.0, self._now() - notify_started)
+            )
         for publish_item, doc_id, timestamp in prepared:
             if not publish_item.future.done():
                 publish_item.future.set_result(

@@ -313,6 +313,11 @@ class NdjsonTcpClient:
         reply = await self.request({"op": "stats"})
         return reply["stats"]
 
+    async def metrics(self) -> str:
+        """Prometheus text exposition of the server's telemetry."""
+        reply = await self.request({"op": "metrics"})
+        return reply["metrics"]
+
     async def send_raw(self, data: bytes) -> None:
         """Write raw bytes (tests use this for malformed lines)."""
         self._writer.write(data)

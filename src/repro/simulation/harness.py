@@ -42,6 +42,7 @@ from repro.server.sessions import SubscriberSession
 from repro.simulation.clock import SimulatedClock
 from repro.simulation.faults import FaultInjector, FaultPlan
 from repro.simulation.invariants import InstrumentedEngine, InvariantMonitor
+from repro.telemetry import CountingClock, Telemetry
 
 #: Keyword universe of generated schedules (small, so queries overlap and
 #: blocks fill up — the interesting regime for group filtering).
@@ -168,6 +169,14 @@ class SimulationHarness:
         self.crash_at = crash_at
         self.checkpoint_path = checkpoint_path
 
+    def _make_telemetry(self) -> Telemetry:
+        """Deterministic telemetry: a counting clock instead of wall time,
+        so stage histograms are a pure function of the schedule, and a
+        seed-tied sampler so the traced document set replays exactly."""
+        return Telemetry(
+            time_fn=CountingClock(), sample_rate=0.25, seed=self.seed
+        )
+
     def run(self) -> Dict:
         return asyncio.run(self._run())
 
@@ -201,7 +210,9 @@ class SimulationHarness:
         schedule = generate_schedule(random.Random(self.seed), self.n_ops)
         clock = SimulatedClock()
         injector = self.plan.injector() if self.plan is not None else None
-        engine = DasEngine(self.engine_config)
+        engine = DasEngine(
+            self.engine_config, telemetry=self._make_telemetry()
+        )
         monitor = InvariantMonitor(engine, with_oracle=self.check_oracle)
         instrumented = InstrumentedEngine(engine, monitor, injector)
         runtime, sessions = await self._start_runtime(
@@ -247,6 +258,10 @@ class SimulationHarness:
                 # Hard crash: no drain, in-memory engine state is lost.
                 await runtime.stop(drain=False)
                 engine = restore_engine(snapshot["payload"])
+                # In-memory telemetry died with the crashed process; the
+                # restored engine starts a fresh ledger (the monitor
+                # re-baselines its delta checks on rebind).
+                engine.attach_telemetry(self._make_telemetry())
                 monitor.rebind(engine)
                 instrumented = InstrumentedEngine(engine, monitor, injector)
                 clock.restore(snapshot["clock"])
@@ -332,6 +347,7 @@ class SimulationHarness:
                     "coalesced",
                     "policy_drops",
                     "counters",
+                    "telemetry",
                 )
             },
             "ok": not monitor.violations,

@@ -22,6 +22,13 @@ accepted operation:
     (``FT̃_b``, ``TRel̃_max``, ``Sim̃_min``) ever wrongly skipped a
     delivery.  Exact equality holds under ``GroupBoundMode.STRICT``
     (the default; see DESIGN.md §2).
+``telemetry``
+    The telemetry ledger stays coherent under faults: publish spans
+    balance (started = finished + aborted), work counters never move
+    backwards, every stage histogram advances by exactly one
+    observation per finished span, and the bounded effectiveness
+    ratios stay within [0, 1].  Skipped when the engine carries no
+    telemetry.
 
 :class:`InstrumentedEngine` wraps a :class:`DasEngine` so the monitor
 sees every document individually (mid-batch) and the ``engine.doc``
@@ -88,7 +95,9 @@ class InvariantMonitor:
             "lemma1": 0,
             "bounds": 0,
             "oracle": 0,
+            "telemetry": 0,
         }
+        self._take_telemetry_baseline()
 
     @property
     def oracle(self) -> Optional[NaiveEngine]:
@@ -109,6 +118,24 @@ class InvariantMonitor:
             )
         self._engine = engine
         self._pre.clear()
+        # A restored engine starts a fresh telemetry ledger; re-baseline
+        # so the histogram-vs-spans delta check compares like with like.
+        self._take_telemetry_baseline()
+
+    def _take_telemetry_baseline(self) -> None:
+        """Record the telemetry state the delta checks measure against."""
+        self._prev_counters = self._engine.counters.as_dict()
+        telemetry = getattr(self._engine, "telemetry", None)
+        if telemetry is None:
+            self._base_spans_finished = 0
+            self._base_stage_counts: Dict[str, int] = {}
+            return
+        snapshot = telemetry.snapshot()
+        self._base_spans_finished = snapshot["spans"]["finished"]
+        self._base_stage_counts = {
+            stage: sum(wire["counts"])
+            for stage, wire in snapshot["stages"].items()
+        }
 
     def _record(self, name: str, detail: str) -> None:
         self.violations.append(
@@ -234,6 +261,7 @@ class InvariantMonitor:
         self.check_sizes()
         self.check_bounds()
         self.check_oracle()
+        self.check_telemetry()
 
     def check_sizes(self) -> None:
         """``|q.R| <= k`` and entries in stream (oldest-first) order."""
@@ -294,6 +322,65 @@ class InvariantMonitor:
                     f"block({term}, ids={list(block.query_ids)}) "
                     f"FT={lower:.9f} exceeds exact threshold "
                     f"{exact:.9f}",
+                )
+
+    def check_telemetry(self) -> None:
+        """Audit the telemetry ledger (see module docstring).
+
+        Four obligations: spans balance, counter monotonicity, stage
+        histograms advance one observation per finished span, bounded
+        ratios within [0, 1].  The counter baseline rolls forward each
+        check so a violation is reported near the op that caused it.
+        """
+        counters = self._engine.counters.as_dict()
+        for name, value in counters.items():
+            previous = self._prev_counters.get(name, 0)
+            if value < previous:
+                self._record(
+                    "telemetry",
+                    f"counter {name} moved backwards: "
+                    f"{previous} -> {value}",
+                )
+        self._prev_counters = counters
+
+        telemetry = getattr(self._engine, "telemetry", None)
+        if telemetry is None:
+            return
+        self.checks["telemetry"] += 1
+        snapshot = telemetry.snapshot()
+        spans = snapshot["spans"]
+        if spans["started"] != spans["finished"] + spans["aborted"]:
+            self._record(
+                "telemetry",
+                f"span ledger unbalanced: started={spans['started']} != "
+                f"finished={spans['finished']} + "
+                f"aborted={spans['aborted']}",
+            )
+        if spans["sampled"] > spans["finished"]:
+            self._record(
+                "telemetry",
+                f"sampled spans ({spans['sampled']}) exceed finished "
+                f"({spans['finished']})",
+            )
+        finished_delta = spans["finished"] - self._base_spans_finished
+        for stage, wire in snapshot["stages"].items():
+            observed = sum(wire["counts"])
+            delta = observed - self._base_stage_counts.get(stage, 0)
+            if delta != finished_delta:
+                self._record(
+                    "telemetry",
+                    f"stage {stage} recorded {delta} observations for "
+                    f"{finished_delta} finished spans",
+                )
+        from repro.telemetry import BOUNDED_RATIOS, effectiveness_gauges
+
+        gauges = effectiveness_gauges(counters)
+        for name in BOUNDED_RATIOS:
+            value = gauges[name]
+            if not 0.0 <= value <= 1.0:
+                self._record(
+                    "telemetry",
+                    f"effectiveness ratio {name}={value!r} outside [0, 1]",
                 )
 
     def check_oracle(self) -> None:

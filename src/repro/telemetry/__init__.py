@@ -1,0 +1,274 @@
+"""Unified telemetry: registry, stage histograms, spans, effectiveness.
+
+One :class:`Telemetry` instance observes every publish an engine
+processes.  The engine calls :meth:`Telemetry.begin_publish` /
+:meth:`Telemetry.end_publish` around its Algorithm 2 hot path and
+attributes elapsed time to the filtering stages as it runs; end_publish
+folds the stage times into fixed-bucket latency histograms (one
+observation per stage per publish, so histogram counts are an exact
+function of documents processed) and, for deterministically sampled
+documents, materialises a span tree of per-stage counter deltas into a
+bounded trace ring.
+
+Determinism contract (the simulation harness and golden-trace tests
+rely on it):
+
+* sampling is a pure function of ``(seed, doc_id)`` — see
+  :class:`~repro.telemetry.spans.TraceSampler`;
+* with a :class:`CountingClock` as ``time_fn`` no wall-clock value ever
+  enters a histogram, so snapshots are byte-reproducible;
+* :func:`merge_snapshots` is order-insensitive (histogram merge is
+  associative and commutative), so parent-side aggregation across
+  workers equals in-process aggregation exactly.
+
+The serving pipeline's stages (ingest queue wait, micro-batch execution,
+notification fan-out) live runtime-side in
+:class:`~repro.server.runtime.ServerRuntime` over the same histogram
+primitive and are merged into the same stats surface.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.metrics.instrumentation import Counters
+from repro.telemetry.effectiveness import (
+    BOUNDED_RATIOS,
+    effectiveness_gauges,
+)
+from repro.telemetry.histogram import (
+    DEFAULT_BOUNDS,
+    LatencyHistogram,
+    merge_wire,
+)
+from repro.telemetry.prometheus import render_exposition
+from repro.telemetry.registry import Counter, Gauge, MetricRegistry
+from repro.telemetry.spans import PublishObservation, TraceSampler
+
+#: Engine-side stages of one publish, in pipeline order.  Every stage is
+#: observed exactly once per publish; ``postings_traversal`` is the
+#: publish total minus the explicitly timed stages.
+ENGINE_STAGES = (
+    "postings_traversal",
+    "group_filter",
+    "individual_filter",
+    "result_update",
+)
+
+#: Runtime-side stages measured by the serving pipeline.
+PIPELINE_STAGES = ("ingest_queue", "micro_batch", "notify")
+
+#: Which work counters each engine stage moves (for span counter deltas).
+STAGE_COUNTERS = {
+    "postings_traversal": (
+        "postings_visited",
+        "blocks_visited",
+        "blocks_skipped",
+    ),
+    "group_filter": ("group_checks", "mcs_rebuilds"),
+    "individual_filter": (
+        "queries_evaluated",
+        "quick_rejections",
+        "sim_evaluations",
+        "aw_dot_products",
+    ),
+    "result_update": ("matches", "mcs_invalidations"),
+}
+
+
+class CountingClock:
+    """A clock that advances one fixed step per reading.
+
+    Substituting this for ``time.perf_counter`` makes every duration a
+    pure function of *how many clock readings* the code path performed —
+    deterministic across hosts and runs — while still landing in real
+    histogram buckets (the default step is one microsecond).
+    """
+
+    __slots__ = ("_ticks", "_step")
+
+    def __init__(self, step: float = 1e-6) -> None:
+        self._ticks = 0
+        self._step = float(step)
+
+    def __call__(self) -> float:
+        self._ticks += 1
+        return self._ticks * self._step
+
+
+class Telemetry:
+    """Per-engine telemetry: stage histograms, span accounting, traces."""
+
+    def __init__(
+        self,
+        time_fn: Optional[Callable[[], float]] = None,
+        sample_rate: float = 1.0 / 16.0,
+        seed: int = 0,
+        trace_capacity: int = 64,
+    ) -> None:
+        self._time = time_fn if time_fn is not None else time.perf_counter
+        self.registry = MetricRegistry()
+        self.sampler = TraceSampler(seed, sample_rate)
+        self._stage_histograms = {
+            stage: self.registry.histogram(
+                f"stage_{stage}",
+                f"Per-publish {stage} latency (seconds).",
+            )
+            for stage in ENGINE_STAGES
+        }
+        self._spans_started = self.registry.counter(
+            "spans_started", "Publish spans opened."
+        )
+        self._spans_finished = self.registry.counter(
+            "spans_finished", "Publish spans completed."
+        )
+        self._spans_aborted = self.registry.counter(
+            "spans_aborted", "Publish spans aborted by an error."
+        )
+        self._spans_sampled = self.registry.counter(
+            "spans_sampled", "Publish spans captured as traces."
+        )
+        #: Most recent sampled traces (bounded; excluded from snapshots).
+        self.traces = deque(maxlen=trace_capacity)
+
+    # -- publish lifecycle -------------------------------------------------
+
+    def begin_publish(
+        self, doc_id: int, counters: Counters
+    ) -> PublishObservation:
+        """Open the observation for one publish (engine hot path)."""
+        self._spans_started.inc()
+        baseline = (
+            counters.as_dict() if self.sampler.sampled(doc_id) else None
+        )
+        return PublishObservation(doc_id, self._time, baseline)
+
+    def end_publish(
+        self, observation: PublishObservation, counters: Counters
+    ) -> None:
+        """Close one publish: observe stage histograms, capture a trace."""
+        total = self._time() - observation.started_at
+        timed = sum(observation.stage_seconds.values())
+        traversal = total - timed
+        if traversal < 0.0:
+            traversal = 0.0
+        self._stage_histograms["postings_traversal"].observe(traversal)
+        for stage in ENGINE_STAGES[1:]:
+            self._stage_histograms[stage].observe(
+                observation.stage_seconds.get(stage, 0.0)
+            )
+        self._spans_finished.inc()
+        if observation.baseline is not None:
+            self._spans_sampled.inc()
+            self.traces.append(
+                self._build_trace(observation, counters.as_dict())
+            )
+
+    def abort_publish(self, observation: PublishObservation) -> None:
+        """A publish raised mid-flight; keep the span ledger balanced."""
+        self._spans_aborted.inc()
+
+    @staticmethod
+    def _build_trace(
+        observation: PublishObservation, after: Dict[str, int]
+    ) -> Dict:
+        """Span tree of one sampled publish: stage -> counter deltas.
+
+        Durations are intentionally excluded — the golden-trace test
+        compares structurally, and counter deltas are exact while
+        durations are host noise under a wall clock.
+        """
+        baseline = observation.baseline
+        delta = {
+            name: after[name] - baseline[name] for name in after
+        }
+        return {
+            "doc_id": observation.doc_id,
+            "root": "publish",
+            "stages": [
+                {
+                    "name": stage,
+                    "counters": {
+                        name: delta[name]
+                        for name in STAGE_COUNTERS[stage]
+                        if delta[name]
+                    },
+                }
+                for stage in ENGINE_STAGES
+            ],
+        }
+
+    # -- aggregation -------------------------------------------------------
+
+    def span_counts(self) -> Dict[str, int]:
+        return {
+            "started": self._spans_started.value,
+            "finished": self._spans_finished.value,
+            "aborted": self._spans_aborted.value,
+            "sampled": self._spans_sampled.value,
+        }
+
+    def snapshot(self) -> Dict:
+        """JSON-safe mergeable snapshot (traces excluded, see module doc)."""
+        return {
+            "stages": {
+                stage: histogram.to_wire()
+                for stage, histogram in self._stage_histograms.items()
+            },
+            "spans": self.span_counts(),
+        }
+
+
+def empty_snapshot() -> Dict:
+    """The identity element of :func:`merge_snapshots`."""
+    return {
+        "stages": {},
+        "spans": {"started": 0, "finished": 0, "aborted": 0, "sampled": 0},
+    }
+
+
+def merge_snapshots(snapshots: Iterable[Optional[Dict]]) -> Dict:
+    """Merge telemetry snapshots (e.g. one per worker) parent-side.
+
+    ``None`` entries (engines without telemetry) are skipped.  Histogram
+    series merge element-wise; span counts add.  The result does not
+    depend on input order.
+    """
+    merged = empty_snapshot()
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        for stage, wire in snapshot.get("stages", {}).items():
+            existing = merged["stages"].get(stage)
+            merged["stages"][stage] = (
+                dict(wire) if existing is None else merge_wire(existing, wire)
+            )
+        for state, value in snapshot.get("spans", {}).items():
+            merged["spans"][state] = (
+                merged["spans"].get(state, 0) + int(value)
+            )
+    return merged
+
+
+__all__ = [
+    "BOUNDED_RATIOS",
+    "CountingClock",
+    "Counter",
+    "DEFAULT_BOUNDS",
+    "ENGINE_STAGES",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricRegistry",
+    "PIPELINE_STAGES",
+    "PublishObservation",
+    "STAGE_COUNTERS",
+    "Telemetry",
+    "TraceSampler",
+    "effectiveness_gauges",
+    "empty_snapshot",
+    "merge_snapshots",
+    "merge_wire",
+    "render_exposition",
+]

@@ -1,0 +1,67 @@
+"""Filtering-effectiveness gauges derived from the engine work counters.
+
+The paper's evaluation axis is *work avoided*: blocks skipped by the
+group condition (Ineq. 11), candidates dismissed by the quick relevance
+bound before any similarity arithmetic, and how many exact similarity
+evaluations each delivered match ultimately cost.  These gauges are pure
+functions of :class:`repro.metrics.instrumentation.Counters`, so they
+are exact, deterministic, and identical whether the counters came from
+one engine or were merged across shards/workers.
+
+Every ratio degrades to ``0.0`` on a zero denominator (a fresh engine
+reports all-zero effectiveness rather than NaN).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from repro.metrics.instrumentation import Counters
+
+#: Gauges whose value is a proportion and must stay within [0, 1].
+BOUNDED_RATIOS = (
+    "blocks_skipped_ratio",
+    "quick_rejection_ratio",
+    "group_check_skip_ratio",
+    "match_rate",
+)
+
+
+def _ratio(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def effectiveness_gauges(
+    counters: Union[Counters, Mapping[str, int]],
+) -> Dict[str, float]:
+    """Derived filtering-effectiveness gauges, keyed by gauge name."""
+    values = (
+        counters.as_dict() if isinstance(counters, Counters) else counters
+    )
+    blocks_visited = values["blocks_visited"]
+    blocks_skipped = values["blocks_skipped"]
+    queries_evaluated = values["queries_evaluated"]
+    return {
+        # Share of candidate blocks the group condition skipped outright.
+        "blocks_skipped_ratio": _ratio(
+            blocks_skipped, blocks_visited + blocks_skipped
+        ),
+        # Share of evaluated queries dismissed by the quick bound alone.
+        "quick_rejection_ratio": _ratio(
+            values["quick_rejections"], queries_evaluated
+        ),
+        # Exact similarity evaluations paid per delivered match.
+        "sim_evals_per_match": _ratio(
+            values["sim_evaluations"], values["matches"]
+        ),
+        # Postings touched per published document (traversal cost).
+        "postings_per_doc": _ratio(
+            values["postings_visited"], values["docs_published"]
+        ),
+        # Share of group checks that resulted in a skip.
+        "group_check_skip_ratio": _ratio(
+            blocks_skipped, values["group_checks"]
+        ),
+        # Share of evaluated queries that produced a result update.
+        "match_rate": _ratio(values["matches"], queries_evaluated),
+    }

@@ -1,0 +1,114 @@
+"""Prometheus text exposition, rendered by hand.
+
+The container image does not ship ``prometheus_client``, and the
+telemetry layer's metrics are already aggregated snapshots by the time
+they reach the stats surface, so the exposition format (version 0.0.4
+text) is rendered directly: ``# HELP`` / ``# TYPE`` headers, cumulative
+``le`` buckets for histograms, and deterministic ordering (sorted metric
+and label names) so two renders of the same snapshot are byte-equal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.telemetry.histogram import LatencyHistogram
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers without a trailing ``.0``."""
+    if isinstance(value, bool):  # bools are ints; refuse the footgun
+        raise ValueError("metric values must be numbers, not bools")
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float(int(value)) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_histogram_family(
+    name: str, help: str, series: Mapping[str, Dict]
+) -> List[str]:
+    """One histogram family with a ``stage`` label per wire-form series."""
+    lines = [
+        f"# HELP {name} {_escape_help(help)}",
+        f"# TYPE {name} histogram",
+    ]
+    for stage in sorted(series):
+        histogram = LatencyHistogram.from_wire(series[stage])
+        cumulative = histogram.cumulative()
+        for bound, count in zip(histogram.bounds, cumulative):
+            lines.append(
+                f'{name}_bucket{{stage="{stage}",le="{repr(bound)}"}} '
+                f"{count}"
+            )
+        lines.append(
+            f'{name}_bucket{{stage="{stage}",le="+Inf"}} {cumulative[-1]}'
+        )
+        lines.append(
+            f'{name}_sum{{stage="{stage}"}} {_format_value(histogram.sum)}'
+        )
+        lines.append(f'{name}_count{{stage="{stage}"}} {cumulative[-1]}')
+    return lines
+
+
+def render_exposition(
+    counters: Mapping[str, int],
+    stages: Mapping[str, Dict],
+    spans: Mapping[str, int],
+    effectiveness: Mapping[str, float],
+    gauges: Optional[Mapping[str, float]] = None,
+) -> str:
+    """The full ``metrics`` op payload as Prometheus exposition text.
+
+    ``counters`` are the engine work counters, ``stages`` maps stage
+    name -> histogram wire form (engine stages plus serving pipeline
+    stages), ``spans`` is the trace-span lifecycle accounting, and
+    ``effectiveness`` the derived filtering gauges.  ``gauges`` carries
+    extra server-level point-in-time values, already fully named.
+    """
+    lines: List[str] = []
+    for name in sorted(counters):
+        metric = f"repro_engine_{name}_total"
+        lines.append(f"# HELP {metric} Engine work counter {name}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(int(counters[name]))}")
+    metric = "repro_publish_spans_total"
+    lines.append(
+        f"# HELP {metric} Publish trace spans by lifecycle state."
+    )
+    lines.append(f"# TYPE {metric} counter")
+    for state in sorted(spans):
+        lines.append(
+            f'{metric}{{state="{state}"}} {_format_value(int(spans[state]))}'
+        )
+    metric = "repro_filtering_effectiveness"
+    lines.append(
+        f"# HELP {metric} Derived filtering-effectiveness ratios "
+        "(work avoided per unit of work done)."
+    )
+    lines.append(f"# TYPE {metric} gauge")
+    for ratio in sorted(effectiveness):
+        lines.append(
+            f'{metric}{{ratio="{ratio}"}} '
+            f"{_format_value(float(effectiveness[ratio]))}"
+        )
+    if gauges:
+        for name in sorted(gauges):
+            lines.append(f"# HELP {name} Serving runtime gauge.")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(gauges[name])}")
+    lines.extend(
+        render_histogram_family(
+            "repro_stage_latency_seconds",
+            "Per-stage publish pipeline latency.",
+            stages,
+        )
+    )
+    return "\n".join(lines) + "\n"

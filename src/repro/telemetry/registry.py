@@ -1,0 +1,103 @@
+"""A small metric registry: named counters, gauges and histograms.
+
+The registry is the bookkeeping substrate of :class:`repro.telemetry.
+Telemetry` and of the serving runtime's pipeline metrics: metrics are
+created (or re-fetched) by name, carry help text for the Prometheus
+exposition, and snapshot to a JSON-safe dict.  It deliberately stays a
+plain in-process structure — cross-process aggregation happens on the
+histogram wire form, not on registries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.telemetry.histogram import DEFAULT_BOUNDS, LatencyHistogram
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time numeric metric."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class MetricRegistry:
+    """Name -> metric map with get-or-create semantics.
+
+    Re-registering a name returns the existing metric; re-registering it
+    as a different metric type is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, factory, kind: type):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise ValueError(
+                f"metric {name!r} is already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help), Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        bounds: Optional[Sequence[float]] = None,
+    ) -> LatencyHistogram:
+        factory = lambda: LatencyHistogram(  # noqa: E731
+            bounds if bounds is not None else DEFAULT_BOUNDS
+        )
+        return self._get_or_create(name, factory, LatencyHistogram)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self):
+        return list(self._metrics)
+
+    def as_dict(self) -> Dict:
+        """JSON-safe snapshot of every registered metric."""
+        out: Dict[str, object] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, LatencyHistogram):
+                out[name] = metric.to_wire()
+            else:
+                out[name] = metric.value
+        return out

@@ -239,6 +239,70 @@ def test_parallel_workers_requires_fresh_engine():
         ServerRuntime(engine, ServerConfig(parallel_workers=2))
 
 
+def test_differential_telemetry_across_engine_shapes(workload):
+    """ISSUE 5 satellite: the same workload through DasEngine,
+    ShardedDasEngine and ParallelShardedEngine yields (a) exactly equal
+    filtering-effectiveness counters for the two sharded shapes, (b)
+    layout-independent counters equal across all three, and (c) worker
+    histograms merged parent-side that match the in-process sharded
+    aggregate span for span."""
+    from repro.telemetry import (
+        ENGINE_STAGES,
+        CountingClock,
+        Telemetry,
+        effectiveness_gauges,
+    )
+
+    docs, queries = workload
+    single = DasEngine(
+        config(), telemetry=Telemetry(time_fn=CountingClock())
+    )
+    sharded = ShardedDasEngine(
+        N_SHARDS, config(), telemetry=Telemetry(time_fn=CountingClock())
+    )
+    with ParallelShardedEngine(N_SHARDS, config()) as parallel:
+        drive(single, docs, queries)
+        drive(sharded, docs, queries)
+        drive(parallel, docs, queries)
+
+        # (a) Identical shard layouts do identical filtering work: the
+        # merged counters agree exactly, counter for counter, and so do
+        # the effectiveness gauges derived from them.
+        counters_sharded = sharded.counters.as_dict()
+        counters_parallel = parallel.counters.as_dict()
+        assert counters_parallel == counters_sharded
+        assert effectiveness_gauges(counters_parallel) == (
+            effectiveness_gauges(counters_sharded)
+        )
+
+        # (b) Layout-independent counters match the single oracle too
+        # (block packing legitimately shifts the layout-dependent ones).
+        counters_single = single.counters.as_dict()
+        for name in ("docs_published", "queries_subscribed", "matches"):
+            assert counters_parallel[name] == counters_single[name]
+
+        # (c) Parent-side histogram merge: every worker observed every
+        # stage once per broadcast publish, so the merged counts equal
+        # the in-process sharded engine's shared-telemetry counts —
+        # N_SHARDS observations per logical document — while the single
+        # engine records exactly one.
+        snap_single = single.telemetry_snapshot()
+        snap_sharded = sharded.telemetry_snapshot()
+        snap_parallel = parallel.telemetry_snapshot()
+        n_docs = counters_single["docs_published"]
+        assert snap_single["spans"]["finished"] == n_docs
+        assert snap_sharded["spans"]["finished"] == N_SHARDS * n_docs
+        assert snap_parallel["spans"] == snap_sharded["spans"]
+        for stage in ENGINE_STAGES:
+            assert sum(snap_single["stages"][stage]["counts"]) == n_docs
+            assert (
+                sum(snap_parallel["stages"][stage]["counts"])
+                == sum(snap_sharded["stages"][stage]["counts"])
+                == N_SHARDS * n_docs
+            )
+            assert snap_parallel["stages"][stage]["sum"] >= 0.0
+
+
 def test_crash_suite_is_deterministic_and_green():
     """The simulate --parallel-workers scenarios pass and reproduce."""
     from repro.simulation import run_parallel_crash_suite

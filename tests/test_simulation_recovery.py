@@ -52,6 +52,65 @@ def test_crash_recovery_with_faults_in_the_replayed_tail():
     assert crashed["final"] == reference
 
 
+def test_crash_recovery_preserves_counters(tmp_path):
+    """ISSUE 5 satellite: a recovered engine's work counters continue
+    the original's accounting instead of double-counting.
+
+    Checkpoints persist ``Counters`` and restore loads them wholesale
+    *after* rebuilding (the rebuild itself re-increments e.g.
+    ``queries_subscribed``); replaying ops ``c..end`` then re-applies
+    the same increments as the reference run, so the recovered run's
+    final counters equal the unfailed run's exactly — except
+    ``mcs_rebuilds``: MCS covers are derived state that checkpoints
+    deliberately omit, so the replay rebuilds covers the original still
+    had cached and legitimately counts more rebuild work.
+    """
+    reference = SimulationHarness(17, ops=40, check_oracle=False).run()
+    crashed = SimulationHarness(
+        17,
+        ops=40,
+        check_oracle=False,
+        checkpoint_at=12,
+        crash_at=25,
+    ).run()
+    assert crashed["recovered"] is True
+    crashed_counters = dict(crashed["stats"]["counters"])
+    reference_counters = dict(reference["stats"]["counters"])
+    assert crashed_counters.pop("mcs_rebuilds") >= (
+        reference_counters.pop("mcs_rebuilds")
+    )
+    assert crashed_counters == reference_counters
+
+    # Direct checkpoint/restore round trip: counters survive as-is.
+    from repro.config import EngineConfig
+    from repro.core.engine import DasEngine
+    from repro.core.query import DasQuery
+    from repro.persistence.checkpoint import checkpoint, restore
+    from repro.stream.document import Document
+    from repro.text.vectors import TermVector
+
+    engine = DasEngine(EngineConfig(k=2, backend="python"))
+    engine.subscribe(DasQuery(0, ("apple", "pear")))
+    for doc_id in range(5):
+        engine.publish(
+            Document(doc_id, TermVector({"apple": 1, "pear": 1}), float(doc_id))
+        )
+    recovered = restore(checkpoint(engine))
+    assert recovered.counters.as_dict() == engine.counters.as_dict()
+    # Without the wholesale restore the rebuild would have left exactly
+    # one spurious queries_subscribed increment; pin the exact value.
+    assert recovered.counters.queries_subscribed == 1
+    assert recovered.counters.docs_published == 5
+
+    # Legacy checkpoints (no "counters" key) still restore; the rebuild
+    # increments are all the accounting they have.
+    legacy = checkpoint(engine)
+    del legacy["counters"]
+    old = restore(legacy)
+    assert old.counters.queries_subscribed == 1
+    assert old.counters.docs_published == 0
+
+
 def test_constructor_rejects_inconsistent_crash_setups():
     with pytest.raises(ValueError):
         SimulationHarness(1, crash_at=10)  # no checkpoint to restore from
