@@ -33,14 +33,50 @@ DEFAULT_TOLERANCE = 0.20
 RATE_SECTIONS = ("results", "parallel_workers")
 
 
+def derive_rates(payload: dict) -> Dict[str, float]:
+    """Cross-variant ratios gated alongside the raw rates (ISSUE 6).
+
+    Raw docs/sec rows can all drift together with machine noise; these
+    ratios are what the fast paths are *for*, so they get their own
+    no-regression rows:
+
+    ``derived.kernel_speedup``
+        GIFilter ``auto`` over ``python`` (publish-throughput schema) —
+        the adaptive backend must not lose to the backend it replaces.
+    ``derived.parallel_speedup``
+        Two worker processes over the in-process engine
+        (server-throughput schema).
+    ``derived.wire_reduction``
+        Pipe bytes/doc with the pickle transport over the same with the
+        shared-memory wire (server-throughput schema) — how many times
+        less the parent serializes per published document.
+    """
+    derived: Dict[str, float] = {}
+    gifilter = payload.get("results", {}).get("GIFilter")
+    if isinstance(gifilter, dict):
+        auto, python = gifilter.get("auto"), gifilter.get("python")
+        if auto and python:
+            derived["derived.kernel_speedup"] = float(auto) / float(python)
+    two_workers = payload.get("parallel_workers", {}).get("2", {})
+    speedup = two_workers.get("speedup_vs_inprocess")
+    if speedup:
+        derived["derived.parallel_speedup"] = float(speedup)
+    reduction = payload.get("wire", {}).get("pipe_reduction_factor")
+    if reduction:
+        derived["derived.wire_reduction"] = float(reduction)
+    return derived
+
+
 def collect_rates(payload: dict) -> Dict[str, float]:
     """Flatten every throughput rate to a dotted key -> docs/sec.
 
     A rate is a ``docs_per_sec`` entry, or — in payloads whose
     ``results`` section maps variant labels straight to numbers (the
     publish-throughput schema) — any numeric leaf under a rate section.
+    Derived cross-variant ratios (see :func:`derive_rates`) ride along
+    under ``derived.*`` keys.
     """
-    rates: Dict[str, float] = {}
+    rates: Dict[str, float] = dict(derive_rates(payload))
 
     def walk(node, path: Tuple[str, ...]) -> None:
         if isinstance(node, dict):

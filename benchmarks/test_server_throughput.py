@@ -32,7 +32,11 @@ import time
 from benchmarks.common import bench_scale, write_output
 from repro.config import ServerConfig
 from repro.core.engine import DasEngine
+from repro.core.query import DasQuery
+from repro.parallel import ParallelShardedEngine
 from repro.server import InProcessClient, ServerRuntime
+from repro.workloads.corpus import SyntheticTweetCorpus
+from repro.workloads.queries import lqd_queries
 
 #: Concurrent publisher counts exercised (ISSUE 2 satellite e).
 PUBLISHER_COUNTS = (1, 4, 16)
@@ -161,6 +165,58 @@ def run_parallel_suite():
     return results
 
 
+def _wire_bytes_per_doc(disable_shm):
+    """Parent-side pipe serialization per published document (ISSUE 6).
+
+    Runs the parallel engine directly (no asyncio pipeline — this is a
+    wire measurement, not a throughput one) over a fixed corpus and
+    reads ``wire_stats``.  ``pipe_bytes`` counts the bytes actually
+    pickled onto the worker request pipes: with the shared-memory ring
+    that is just op tuples plus vocabulary deltas; without it the full
+    document payload is serialized once per worker.
+    """
+    corpus = SyntheticTweetCorpus(
+        vocab_size=250, n_topics=8, doc_length=(4, 10), seed=5
+    )
+    docs = corpus.documents(max(64, int(512 * bench_scale()) // 16 * 16))
+    queries = lqd_queries(corpus, N_QUERIES, first_id=0)
+    previous = os.environ.pop("REPRO_DISABLE_SHM", None)
+    if disable_shm:
+        os.environ["REPRO_DISABLE_SHM"] = "1"
+    try:
+        with ParallelShardedEngine(
+            2, DasEngine.for_method("GIFilter", k=10, block_size=4).config
+        ) as parallel:
+            for query in queries:
+                parallel.subscribe(DasQuery(query.query_id, query.terms))
+            for start in range(0, len(docs), 16):
+                parallel.publish_batch(docs[start : start + 16])
+            return parallel.wire_stats()
+    finally:
+        if previous is not None:
+            os.environ["REPRO_DISABLE_SHM"] = previous
+        else:
+            os.environ.pop("REPRO_DISABLE_SHM", None)
+
+
+def run_wire_suite():
+    """Per-document wire bytes, shared-memory ring vs pickle pipe."""
+    shm = _wire_bytes_per_doc(disable_shm=False)
+    pipe = _wire_bytes_per_doc(disable_shm=True)
+    reduction = (
+        pipe["pipe_bytes_per_doc"] / shm["pipe_bytes_per_doc"]
+        if shm["pipe_bytes_per_doc"]
+        else None
+    )
+    return {
+        "transport_default": shm["transport"],
+        "shm_pipe_bytes_per_doc": shm["pipe_bytes_per_doc"],
+        "shm_bytes_per_doc": shm["shm_bytes_per_doc"],
+        "fallback_pipe_bytes_per_doc": pipe["pipe_bytes_per_doc"],
+        "pipe_reduction_factor": reduction,
+    }
+
+
 def format_table(results, parallel_results):
     lines = [
         "Serving-runtime throughput (docs/sec end-to-end via the "
@@ -188,6 +244,21 @@ def format_table(results, parallel_results):
     return "\n".join(lines)
 
 
+def format_wire(wire):
+    return "\n".join(
+        [
+            "Document wire (2 workers; bytes pickled onto worker pipes "
+            "per published document)",
+            f"  shared-memory ring: {wire['shm_pipe_bytes_per_doc']:.1f} "
+            f"B/doc on pipes (+{wire['shm_bytes_per_doc']:.1f} B/doc "
+            "written once to shm)",
+            f"  pickle pipe:        "
+            f"{wire['fallback_pipe_bytes_per_doc']:.1f} B/doc",
+            f"  reduction:          {wire['pipe_reduction_factor']:.1f}x",
+        ]
+    )
+
+
 def test_server_throughput():
     results = run_server_suite()
     for n_publishers in PUBLISHER_COUNTS:
@@ -205,9 +276,16 @@ def test_server_throughput():
         assert record["accepted"] == DOCS_PER_ROUND * (MEASURE_ROUNDS + 1)
         assert record["restarts"] == 0, n_workers  # no crashes under load
 
+    wire = run_wire_suite()
+    # ISSUE 6 acceptance: the shared-memory wire serializes at least
+    # 5x fewer bytes per document onto the worker pipes.
+    assert wire["transport_default"] == "shm"
+    assert wire["pipe_reduction_factor"] >= 5.0
+
     baseline = parallel_results[0]["docs_per_sec"]
     write_output(
-        "server_throughput", format_table(results, parallel_results)
+        "server_throughput",
+        format_table(results, parallel_results) + "\n\n" + format_wire(wire),
     )
     payload = {
         "benchmark": "server_throughput",
@@ -245,6 +323,7 @@ def test_server_throughput():
             }
             for n_workers, record in parallel_results.items()
         },
+        "wire": wire,
     }
     with open(JSON_PATH, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

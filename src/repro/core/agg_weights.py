@@ -13,10 +13,15 @@ single sparse dot product (Lemma 6):
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.config import UNLIMITED
 from repro.text.vectors import TermVector
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the image
+    np = None  # type: ignore[assignment]
 
 #: Accumulated float weights below this magnitude are treated as zero and
 #: dropped, so add/remove churn does not leak dictionary entries.
@@ -24,12 +29,25 @@ _ZERO_TOLERANCE = 1e-12
 
 
 class AggregatedTermWeights:
-    """Incrementally maintained ``AW`` table for one document set."""
+    """Incrementally maintained ``AW`` table for one document set.
 
-    __slots__ = ("_weights",)
+    With ``track_ids=True`` (requested by array-capable kernel backends)
+    the table also mirrors itself keyed by interned term id, so
+    :meth:`arrays` can expose the summary as sorted contiguous numpy
+    columns for a vectorized Lemma 6 dot product.  The mirror stores the
+    exact floats the string table stores (both come from
+    ``count / norm``), so either representation yields the same sum.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_weights", "_ids", "_arrays")
+
+    def __init__(self, track_ids: bool = False) -> None:
         self._weights: Dict[str, float] = {}
+        self._ids: Optional[Dict[int, float]] = (
+            {} if (track_ids and np is not None) else None
+        )
+        #: Cached ``(sorted term-id array, weight array)``; rebuilt lazily.
+        self._arrays = None
 
     @property
     def entry_count(self) -> int:
@@ -47,6 +65,12 @@ class AggregatedTermWeights:
         weights = self._weights
         for term, count in vector.items():
             weights[term] = weights.get(term, 0.0) + count / norm
+        ids = self._ids
+        if ids is not None:
+            # vector.packed() weights are the same count/norm divisions.
+            for term_id, weight in zip(*vector.packed()):
+                ids[term_id] = ids.get(term_id, 0.0) + weight
+            self._arrays = None
 
     def remove_document(self, vector: TermVector) -> None:
         """Subtract a previously added document's unit weights."""
@@ -60,6 +84,15 @@ class AggregatedTermWeights:
                 weights.pop(term, None)
             else:
                 weights[term] = remaining
+        ids = self._ids
+        if ids is not None:
+            for term_id, weight in zip(*vector.packed()):
+                remaining = ids.get(term_id, 0.0) - weight
+                if abs(remaining) <= _ZERO_TOLERANCE:
+                    ids.pop(term_id, None)
+                else:
+                    ids[term_id] = remaining
+            self._arrays = None
 
     def similarity_sum(self, vector: TermVector) -> float:
         """Lemma 6: ``Σ_{d∈S} Sim(d, vector)`` in one pass over ``vector``."""
@@ -73,6 +106,26 @@ class AggregatedTermWeights:
             if aw is not None:
                 total += aw * count
         return total / norm
+
+    def arrays(self):
+        """``(term_ids, weights)`` numpy columns sorted by id, or None.
+
+        None when id tracking is off (pure-python engines) or the table
+        is empty; callers then fall back to :meth:`similarity_sum`.
+        """
+        ids = self._ids
+        if ids is None or not ids:
+            return None
+        cached = self._arrays
+        if cached is None:
+            id_array = np.fromiter(ids.keys(), dtype=np.int64, count=len(ids))
+            weight_array = np.fromiter(
+                ids.values(), dtype=np.float64, count=len(ids)
+            )
+            order = np.argsort(id_array, kind="stable")
+            cached = (id_array[order], weight_array[order])
+            self._arrays = cached
+        return cached
 
 
 class MemoryBudget:

@@ -49,6 +49,7 @@ class PostingsBlock:
         "universe_min_tf",
         "universe_max_norm",
         "covers_cache",
+        "member_slots",
     )
 
     def __init__(self) -> None:
@@ -71,6 +72,9 @@ class PostingsBlock:
         #: Kernel-backend packed form of ``mcs_sets``, keyed by the cover
         #: list's identity (see ``filtering.block_similarity_lower_bound``).
         self.covers_cache: Optional[tuple] = None
+        #: Cached columnar slot array for the current membership (ISSUE 6);
+        #: invalidated whenever membership changes.
+        self.member_slots: Optional[object] = None
 
     # -- postings ------------------------------------------------------------
 
@@ -93,6 +97,7 @@ class PostingsBlock:
             )
         self.query_ids.append(query_id)
         self.meta_dirty = True
+        self.member_slots = None
         # A new member invalidates coverage of every existing MCS.
         self.mcs_sets = None
         self.mcs_initial_count = 0
@@ -104,6 +109,7 @@ class PostingsBlock:
         except ValueError:
             return False
         self.meta_dirty = True
+        self.member_slots = None
         # Shrinking membership keeps existing covers valid (they still
         # cover every remaining query), so the MCS summary survives.
         return True
@@ -155,6 +161,30 @@ class PostingsBlock:
             self.trel_max_de = trel_max
             self.earliest_de = earliest
         self.meta_dirty = False
+
+    def refresh_from_columns(self, columns) -> bool:
+        """Vectorized refresh from :class:`QuerySummaryColumns`.
+
+        Returns True when the columnar store covered every member (all
+        filled), in which case the summaries are refreshed bit-identically
+        to :meth:`refresh_metadata` (min/max over the same float64s).
+        Returns False when any member is unknown or unfilled — the caller
+        falls back to the scalar path, which handles warm-up members.
+        """
+        slots = self.member_slots
+        if slots is None:
+            slots = columns.slots_for(self.query_ids)
+            if slots is None:
+                return False
+            self.member_slots = slots
+        summary = columns.summarize(slots)
+        if summary is None:
+            return False
+        self.dtrel_min, self.trel_max_de, self.earliest_de = summary
+        self.unfilled_ids = []
+        self.has_unfilled = False
+        self.meta_dirty = False
+        return True
 
     # -- MCS summary -----------------------------------------------------------
 

@@ -23,6 +23,7 @@ aggregated term weight summaries (Lemma 6) where enabled.
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.config import METHOD_CONFIGS, EngineConfig
@@ -104,6 +105,24 @@ class DasEngine:
         #: caching avoids a per-update bisect + membership scan.
         self._memberships: Dict[int, List[Tuple[str, object]]] = {}
         self._last_query_id: Optional[int] = None
+        #: Columnar mirror of per-query oldest-result summaries (ISSUE 6).
+        #: Pure-python engines skip it — the mirror only pays for itself
+        #: when block refreshes can reduce over numpy arrays — and
+        #: ``REPRO_DISABLE_COLUMNAR=1`` disables it for differential runs.
+        self._qcols = None
+        if (
+            self._config.use_blocks
+            and self._kernels.name != "python"
+            and os.environ.get("REPRO_DISABLE_COLUMNAR") != "1"
+        ):
+            try:
+                from repro.core.columnar import QuerySummaryColumns
+
+                self._qcols = QuerySummaryColumns()
+            except (ImportError, RuntimeError):
+                self._qcols = None
+        #: Per-micro-batch shape adaptation hook (adaptive backend only).
+        self._kernels_begin_batch = getattr(self._kernels, "begin_batch", None)
         self._init_strategy = init_strategy
         self.counters = counters if counters is not None else Counters()
         self.telemetry = telemetry
@@ -289,6 +308,10 @@ class DasEngine:
         self._last_query_id = query.query_id
         touched = self._index.insert(query)
         self._memberships[query.query_id] = touched
+        if self._qcols is not None:
+            self._qcols.update(
+                query.query_id, result_set, self._config.alpha, self._coeff
+            )
         if self._config.use_group_filter:
             # The paper attributes summary construction to insertion time
             # (Figure 4(b)): build the MCS summaries of touched blocks now.
@@ -307,6 +330,8 @@ class DasEngine:
         result_set.release_budget()
         del self._memberships[query_id]
         self._index.remove(query)
+        if self._qcols is not None:
+            self._qcols.release(query_id)
 
     def _query_of(self, query_id: int) -> DasQuery:
         query = self._queries.get(query_id)
@@ -335,6 +360,7 @@ class DasEngine:
         then owns clearing it.  With the default ``None`` the engine's
         own per-publish memo is used.
         """
+        self._begin_batch(1)
         if decay_cache is None:
             self._decay_cache.clear()
             return self._publish_one(document, {})
@@ -367,6 +393,10 @@ class DasEngine:
         pass a shared ``decay_cache`` so sibling shards broadcasting the
         same batch reuse one memo (the caller owns clearing it).
         """
+        documents = list(documents)
+        if not documents:
+            return []
+        self._begin_batch(len(documents))
         if decay_cache is None:
             decay_cache = self._decay_cache
             decay_cache.clear()
@@ -380,6 +410,32 @@ class DasEngine:
             return notifications
         finally:
             self._decay_cache = own
+
+    def _candidate_blocks(self) -> int:
+        """Average blocks per postings list — the per-document group-check
+        population a batch will face (O(1) via incremental index totals)."""
+        terms = self._index.term_count
+        if not terms:
+            return 0
+        return self._index.block_count // terms
+
+    def _begin_batch(self, batch_size: int) -> None:
+        """Per-micro-batch shape adaptation (ISSUE 6 satellite 1).
+
+        The adaptive backend commits the whole batch to one kernel mode
+        based on ``batch_size × candidate blocks``; fixed backends just
+        account the batch so ``vectorized_batch_fraction`` stays defined
+        for every engine shape.
+        """
+        begin = self._kernels_begin_batch
+        if begin is not None:
+            mode = begin(batch_size, self._config.k, self._candidate_blocks())
+        else:
+            mode = "numpy" if self._kernels.name == "numpy" else "python"
+        if mode == "numpy":
+            self.counters.batches_vectorized += 1
+        else:
+            self.counters.batches_scalar += 1
 
     def _publish_one(
         self,
@@ -516,9 +572,14 @@ class DasEngine:
         """Group filtering condition for one block (Lemma 7)."""
         self.counters.group_checks += 1
         if block.meta_dirty:
-            block.refresh_metadata(
-                self._result_sets, self._config.alpha, self._coeff
-            )
+            qcols = self._qcols
+            if qcols is not None and block.refresh_from_columns(qcols):
+                self.counters.columnar_refreshes += 1
+            else:
+                block.refresh_metadata(
+                    self._result_sets, self._config.alpha, self._coeff
+                )
+                self.counters.scalar_refreshes += 1
         threshold = block_threshold_lower_bound(
             block, self._decay_cache, now, self._config.alpha
         )
@@ -595,6 +656,8 @@ class DasEngine:
             self._store.pin(document.doc_id)
             self.counters.matches += 1
             notifications.append(Notification(query_id, document, None))
+            if self._qcols is not None:
+                self._qcols.update(query_id, result_set, config.alpha, self._coeff)
             self._mark_blocks_dirty(query)
             if result_set.is_full and config.use_group_filter:
                 # The query just left warm-up: existing MCS covers were
@@ -638,6 +701,8 @@ class DasEngine:
         self._store.pin(document.doc_id)
         self.counters.matches += 1
         notifications.append(Notification(query_id, document, evicted))
+        if self._qcols is not None:
+            self._qcols.update(query_id, result_set, config.alpha, self._coeff)
         self._on_result_updated(query, result_set, evicted)
         if obs is not None:
             obs.add("result_update", obs.time() - entered)

@@ -40,6 +40,20 @@ def quick_relevance_bound(trel_new: float, alpha: float) -> float:
     return alpha * trel_new + 2.0 * (1.0 - alpha)
 
 
+def threshold_from_summaries(
+    dtrel_min: float,
+    trel_max_de: float,
+    recency: float,
+    alpha: float,
+) -> float:
+    """The Eq. 12 threshold arithmetic over bare scalars.
+
+    Shared by the scalar path and the columnar refresh so both sides
+    evaluate the identical float expression (bit-identity is what lets
+    the columnar layout stand in for the object walk)."""
+    return dtrel_min - alpha * trel_max_de * (1.0 - recency)
+
+
 def block_threshold_lower_bound(
     block: PostingsBlock,
     decay: ExponentialDecay,
@@ -55,7 +69,9 @@ def block_threshold_lower_bound(
     if block.dtrel_min == _NEG_INF:
         return _NEG_INF
     recency = decay.at(block.earliest_de, now)
-    return block.dtrel_min - alpha * block.trel_max_de * (1.0 - recency)
+    return threshold_from_summaries(
+        block.dtrel_min, block.trel_max_de, recency, alpha
+    )
 
 
 def block_trel_upper_bound(active_ps_values: Sequence[float]) -> float:

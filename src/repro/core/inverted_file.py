@@ -3,8 +3,10 @@
 One postings list per term; each list is a sequence of
 :class:`~repro.core.blocks.PostingsBlock` objects whose id ranges are
 disjoint and ascending, so the block containing a query id is found by
-bisection.  With ``block_size = None`` the file degrades to a plain
-(unblocked) inverted file — the structure used by the IRT baseline.
+bisection over a flat ``max_id`` array maintained incrementally (the
+previous implementation rebuilt that array on every lookup).  With
+``block_size = None`` the file degrades to a plain (unblocked) inverted
+file — the structure used by the IRT baseline.
 """
 
 from __future__ import annotations
@@ -19,11 +21,14 @@ from repro.core.query import DasQuery
 class PostingsList:
     """All blocks of one term."""
 
-    __slots__ = ("term", "blocks")
+    __slots__ = ("term", "blocks", "_max_ids")
 
     def __init__(self, term: str) -> None:
         self.term = term
         self.blocks: List[PostingsBlock] = []
+        #: ``blocks[i].max_id`` mirror kept in lockstep for O(log B)
+        #: ``find_block`` without a per-call list rebuild.
+        self._max_ids: List[int] = []
 
     def append(self, query_id: int, block_size: Optional[int]) -> PostingsBlock:
         """Append a posting, opening a new block when the last one is full."""
@@ -31,13 +36,15 @@ class PostingsList:
             block_size is not None and len(self.blocks[-1]) >= block_size
         ):
             self.blocks.append(PostingsBlock())
+            self._max_ids.append(query_id)
         block = self.blocks[-1]
         block.append(query_id)
+        self._max_ids[-1] = query_id
         return block
 
     def find_block(self, query_id: int) -> Optional[PostingsBlock]:
         """Block whose id range contains ``query_id`` (None if absent)."""
-        index = bisect_left([block.max_id for block in self.blocks], query_id)
+        index = bisect_left(self._max_ids, query_id)
         if index >= len(self.blocks):
             return None
         block = self.blocks[index]
@@ -49,6 +56,9 @@ class PostingsList:
                 if block.remove(query_id):
                     if not block.query_ids:
                         del self.blocks[i]
+                        del self._max_ids[i]
+                    else:
+                        self._max_ids[i] = block.max_id
                     return True
                 return False
         return False
@@ -72,6 +82,10 @@ class QueryInvertedFile:
             raise ValueError(f"block_size must be >= 1 or None, got {block_size}")
         self._block_size = block_size
         self._lists: Dict[str, PostingsList] = {}
+        # Incremental totals: the per-batch vectorization heuristic reads
+        # these every micro-batch, so they must not be O(terms) walks.
+        self._postings_total = 0
+        self._blocks_total = 0
 
     @property
     def block_size(self) -> Optional[int]:
@@ -85,7 +99,10 @@ class QueryInvertedFile:
             if postings is None:
                 postings = PostingsList(term)
                 self._lists[term] = postings
+            before = len(postings.blocks)
             block = postings.append(query.query_id, self._block_size)
+            self._blocks_total += len(postings.blocks) - before
+            self._postings_total += 1
             touched.append((term, block))
         return touched
 
@@ -94,7 +111,10 @@ class QueryInvertedFile:
             postings = self._lists.get(term)
             if postings is None:
                 continue
-            postings.remove(query.query_id)
+            before = len(postings.blocks)
+            if postings.remove(query.query_id):
+                self._postings_total -= 1
+                self._blocks_total -= before - len(postings.blocks)
             if not postings.blocks:
                 del self._lists[term]
 
@@ -121,11 +141,11 @@ class QueryInvertedFile:
 
     @property
     def posting_count(self) -> int:
-        return sum(postings.posting_count for postings in self._lists.values())
+        return self._postings_total
 
     @property
     def block_count(self) -> int:
-        return sum(len(postings) for postings in self._lists.values())
+        return self._blocks_total
 
     def mcs_document_count(self) -> int:
         """Total document references held by MCS summaries."""

@@ -72,9 +72,15 @@ class QueryResultSet:
         self.k = k
         self._entries: List[ResultEntry] = []
         self._track_aw = track_aggregated_weights
-        self._aw = AggregatedTermWeights() if track_aggregated_weights else None
         self._budget = budget
         self._kernels = kernels if kernels is not None else default_kernels()
+        self._aw = (
+            AggregatedTermWeights(
+                track_ids=getattr(self._kernels, "wants_aw_arrays", False)
+            )
+            if track_aggregated_weights
+            else None
+        )
         self._packed = _DIRTY
 
     # -- inspection --------------------------------------------------------
@@ -171,7 +177,7 @@ class QueryResultSet:
         aw_used = 0
         total = 0.0
         if self._aw is not None:
-            total += self._aw.similarity_sum(vector)
+            total += self._kernels.aw_similarity_sum(self._aw, vector)
             aw_used = 1
             # With every surviving entry folded into the AW summary there
             # are no direct (R2) cosines left — skip the kernel call (and

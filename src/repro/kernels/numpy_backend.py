@@ -226,6 +226,8 @@ class NumpyKernels:
     """Vectorised backend over packed term-id/weight matrices."""
 
     name = "numpy"
+    #: Ask result sets to mirror their AW tables as id-keyed arrays.
+    wants_aw_arrays = True
 
     # -- result-set kernels ------------------------------------------------
 
@@ -301,6 +303,30 @@ class NumpyKernels:
         else:
             sims = packed.matrix[:, cols] @ np.asarray(weights)
         return float(sims.take(rows).sum()), count
+
+    def aw_similarity_sum(self, aw, vector: TermVector) -> float:
+        """Lemma 6 aggregated-weight sum over the table's sorted columns.
+
+        Falls back to the dict walk when the table carries no id mirror
+        (result sets built for the python backend, or an empty table).
+        """
+        arrays = aw.arrays()
+        if arrays is None:
+            return aw.similarity_sum(vector)
+        ids, weights = arrays
+        vector_ids, vector_weights = vector.packed()
+        if not vector_ids:
+            return 0.0
+        probe = np.asarray(vector_ids, dtype=np.int64)
+        positions = np.searchsorted(ids, probe)
+        positions = np.minimum(positions, len(ids) - 1)
+        hits = ids[positions] == probe
+        if not hits.any():
+            return 0.0
+        return float(
+            weights[positions[hits]]
+            @ np.asarray(vector_weights, dtype=np.float64)[hits]
+        )
 
     # -- group-bound kernels -----------------------------------------------
 

@@ -40,6 +40,8 @@ class PythonKernels:
     """Dependency-free reference backend."""
 
     name = "python"
+    #: Pure-python engines never pay for the id-keyed AW mirror.
+    wants_aw_arrays = False
 
     # -- result-set kernels ------------------------------------------------
 
@@ -87,6 +89,10 @@ class PythonKernels:
                 total += cosine_similarity(vector, entry.document.vector)
                 count += 1
         return total, count
+
+    def aw_similarity_sum(self, aw, vector: TermVector) -> float:
+        """Lemma 6 aggregated-weight sum — the reference dict walk."""
+        return aw.similarity_sum(vector)
 
     # -- group-bound kernels -----------------------------------------------
 

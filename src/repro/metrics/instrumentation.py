@@ -29,6 +29,10 @@ class Counters:
     matches: int = 0
     mcs_rebuilds: int = 0
     mcs_invalidations: int = 0
+    batches_vectorized: int = 0
+    batches_scalar: int = 0
+    columnar_refreshes: int = 0
+    scalar_refreshes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -33,6 +33,9 @@ matcher already contains and counts (PR 3) instead of dying.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
+import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import EngineConfig
@@ -46,9 +49,13 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.metrics.instrumentation import Counters
+from repro.parallel.shm import DEFAULT_RING_BYTES, ShmRing
 from repro.parallel.wire import (
+    WIRE_OVERFLOW,
     decode_error,
+    decode_notification_records,
     encode_document,
+    encode_document_batch,
     encode_query_terms,
 )
 from repro.parallel.worker import worker_main
@@ -63,6 +70,27 @@ from repro.text.vectors import TermVector
 from repro.text.vocabulary import GLOBAL_VOCABULARY, Vocabulary
 
 
+def _make_ring() -> Optional[ShmRing]:
+    """The parent's document ring, or ``None`` when shm is unavailable.
+
+    ``REPRO_DISABLE_SHM=1`` forces the pickle-pipe transport (tests and
+    degraded platforms); ``REPRO_SHM_RING_BYTES`` sizes the ring —
+    batches that do not fit fall back to the pipe per batch.
+    """
+    if os.environ.get("REPRO_DISABLE_SHM") == "1":
+        return None
+    try:
+        capacity = int(
+            os.environ.get("REPRO_SHM_RING_BYTES", str(DEFAULT_RING_BYTES))
+        )
+    except ValueError:
+        capacity = DEFAULT_RING_BYTES
+    try:
+        return ShmRing.create(capacity)
+    except (ImportError, OSError, ValueError):
+        return None
+
+
 class _WorkerHandle:
     """One worker process plus its pipe and vocabulary-sync cursor."""
 
@@ -72,13 +100,15 @@ class _WorkerHandle:
         ctx,
         config_payload: Dict,
         fault_plan: Optional[str] = None,
+        ring_spec: Optional[Tuple[str, int]] = None,
+        tally: Optional[List[int]] = None,
     ) -> None:
         self.index = index
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.conn = parent_conn
         self.process = ctx.Process(
             target=worker_main,
-            args=(child_conn, config_payload, fault_plan),
+            args=(child_conn, config_payload, fault_plan, ring_spec),
             daemon=True,
             name=f"repro-shard-{index}",
         )
@@ -86,17 +116,26 @@ class _WorkerHandle:
         child_conn.close()
         #: Master-vocabulary ids below this are already in the replica.
         self.synced_terms = 0
+        #: Shared serialized-byte meter (survives handle replacement).
+        self.tally = tally if tally is not None else [0]
 
     def send(self, op: str, *args, vocab: Vocabulary) -> None:
-        """Send one request, prefixed with the replica's vocab delta."""
+        """Send one request, prefixed with the replica's vocab delta.
+
+        The message is pickled here (``send_bytes``) rather than inside
+        ``Connection.send`` so the exact serialized size lands in the
+        shared tally — the measurement the wire benchmarks gate on.
+        """
         delta = vocab.tail(self.synced_terms)
+        data = pickle.dumps((op, delta) + args)
         try:
-            self.conn.send((op, delta) + args)
+            self.conn.send_bytes(data)
         except (OSError, ValueError) as exc:
             raise WorkerCrashError(
                 f"worker {self.index} pipe closed during send"
             ) from exc
         self.synced_terms = len(vocab)
+        self.tally[0] += len(data)
 
     def recv(self):
         """Read one reply; raises the decoded error for "err" replies."""
@@ -167,12 +206,36 @@ class ParallelShardedEngine:
         self._last_doc_id: Optional[int] = None
         self._last_query_id: Optional[int] = None
         self._closed = False
+        #: Document ring (parent-owned); None degrades every publish to
+        #: the pickle pipe.
+        self._ring = _make_ring()
+        self._ring_spec = (
+            (self._ring.name, self._ring.capacity)
+            if self._ring is not None
+            else None
+        )
+        #: Wire accounting for wire_stats() (see its docstring).
+        self._wire = {
+            "shm_docs": 0,
+            "shm_bytes": 0,
+            "pipe_docs": 0,
+            "pipe_bytes": 0,
+            "reply_bytes": 0,
+            "shm_fallbacks": 0,
+            "encode_seconds": 0.0,
+        }
+        #: Bytes pickled onto worker pipes, all ops, all workers —
+        #: shared across handles so replacement after a crash keeps the
+        #: meter monotonic.
+        self._pipe_tally = [0]
         self._workers = [
             _WorkerHandle(
                 index,
                 self._ctx,
                 self._config_payload,
                 fault_plan if index == fault_shard else None,
+                ring_spec=self._ring_spec,
+                tally=self._pipe_tally,
             )
             for index in range(n_workers)
         ]
@@ -219,7 +282,33 @@ class ParallelShardedEngine:
             "restarts": list(self._restarts),
             "recoveries": self._recoveries,
             "journal_ops": len(self._journal),
+            "wire": self.wire_stats(),
         }
+
+    def wire_stats(self) -> Dict:
+        """Serialised-byte accounting of the document wire path.
+
+        ``pipe_bytes`` is the number of bytes actually pickled onto the
+        worker pipes for publish requests — the full payload *per
+        worker* on the pickle transport, a constant-size op tuple per
+        worker on the shm transport (the blob itself crosses via shared
+        memory, written exactly once and never re-copied; its one-time
+        size is ``shm_bytes``).  ``pipe_bytes_per_doc`` over total
+        published documents is the per-document serialization cost the
+        benchmarks compare between transports (the ≥5× reduction
+        criterion); ``reply_bytes`` totals the compact
+        notification-record blobs workers returned.
+        """
+        wire = dict(self._wire)
+        wire["transport"] = "shm" if self._ring is not None else "pipe"
+        docs = wire["shm_docs"] + wire["pipe_docs"]
+        wire["shm_bytes_per_doc"] = (
+            wire["shm_bytes"] / wire["shm_docs"] if wire["shm_docs"] else 0.0
+        )
+        wire["pipe_bytes_per_doc"] = (
+            wire["pipe_bytes"] / docs if docs else 0.0
+        )
+        return wire
 
     # -- worker plumbing ----------------------------------------------------
 
@@ -234,7 +323,13 @@ class ParallelShardedEngine:
         the caller's op then fails, which is the containment contract.
         """
         self._workers[shard].close()
-        handle = _WorkerHandle(shard, self._ctx, self._config_payload)
+        handle = _WorkerHandle(
+            shard,
+            self._ctx,
+            self._config_payload,
+            ring_spec=self._ring_spec,
+            tally=self._pipe_tally,
+        )
         self._workers[shard] = handle
         self._restarts[shard] += 1
         handle.request("restore", self._checkpoints[shard], vocab=self._vocab)
@@ -359,11 +454,21 @@ class ParallelShardedEngine:
         """Broadcast a batch to every worker; merge in document order.
 
         The batch is encoded once (term-id arrays against the master
-        vocabulary) and the identical payload goes to every worker, so
-        the only per-worker cost is the pipe write.  Workers match
-        concurrently; replies are collected afterwards and interleaved
-        document-major / shard-minor, matching the sharded engine and
-        the single-engine oracle exactly.
+        vocabulary) and written **once** into the shared-memory ring;
+        every worker decodes the same region in place, so the per-worker
+        cost of shipping a document is a 3-int pipe tuple, not a pickled
+        payload.  Batches the binary codec cannot represent (term count
+        above uint16, oversized text) or that do not fit the ring fall
+        back to the pickle pipe — same worker code path, same results.
+        Workers match concurrently; compact reply records are collected
+        afterwards and interleaved document-major / shard-minor,
+        matching the sharded engine and the single-engine oracle
+        exactly.
+
+        The ring reservation is freed only after the broadcast fully
+        settles: crash recovery inside ``_broadcast`` retries the same
+        ``(offset, length)``, so the region must stay valid until every
+        worker (including respawned ones) has replied.
         """
         self._check_open()
         docs = list(documents)
@@ -374,9 +479,39 @@ class ParallelShardedEngine:
         )
         for document in docs:
             self._documents[document.doc_id] = document
+        wire = self._wire
+        op_args = None
+        reserved = False
+        if self._ring is not None:
+            started = time.perf_counter()
+            try:
+                blob = encode_document_batch(payload)
+            except WIRE_OVERFLOW:
+                blob = None
+            if blob is not None:
+                offset = self._ring.try_reserve(len(blob))
+                if offset is not None:
+                    self._ring.write(offset, blob)
+                    wire["encode_seconds"] += time.perf_counter() - started
+                    wire["shm_docs"] += len(docs)
+                    wire["shm_bytes"] += len(blob)
+                    reserved = True
+                    op_args = ("publish_shm", offset, len(blob), len(docs))
+            if op_args is None:
+                wire["shm_fallbacks"] += 1
+        if op_args is None:
+            wire["pipe_docs"] += len(docs)
+            op_args = ("publish_batch", payload)
+        tally_before = self._pipe_tally[0]
         try:
-            per_shard = self._broadcast("publish_batch", payload)
+            per_shard = self._broadcast(*op_args)
         finally:
+            # Actual bytes pickled onto the worker pipes for this batch:
+            # the full payload per worker on the pipe transport, a tiny
+            # (offset, length, count) tuple per worker on the shm one.
+            wire["pipe_bytes"] += self._pipe_tally[0] - tally_before
+            if reserved:
+                self._ring.free_oldest()
             # Journal the batch even when it was (identically) rejected
             # part-way: replaying it reproduces the same partial state.
             self._journal.append(
@@ -390,6 +525,10 @@ class ParallelShardedEngine:
                     or document.doc_id > self._last_doc_id
                 ):
                     self._last_doc_id = document.doc_id
+        wire["reply_bytes"] += sum(len(blob) for blob in per_shard)
+        per_shard = [
+            decode_notification_records(blob) for blob in per_shard
+        ]
         merged: List[Notification] = []
         positions = [0] * len(per_shard)
         documents_by_id = self._documents
@@ -570,6 +709,9 @@ class ParallelShardedEngine:
             except (ReproError, OSError):
                 pass
             handle.close()
+        if self._ring is not None:
+            self._ring.close()
+            self._ring = None
 
     def __enter__(self) -> "ParallelShardedEngine":
         return self

@@ -1,0 +1,173 @@
+"""Shared-memory byte ring for the parent -> worker document path.
+
+:class:`ShmRing` is a single-producer arena over one
+:class:`multiprocessing.shared_memory.SharedMemory` segment.  The parent
+(the only writer) reserves a contiguous region, writes an encoded batch
+into it, and ships just ``(offset, length)`` over the request pipe;
+every worker maps the same segment once at startup and decodes the batch
+in place — the document bytes are written exactly once no matter how
+many workers consume them, and nothing is pickled.
+
+There are deliberately **no shared head/tail pointers** in the segment:
+the strict request/reply pipe protocol is the only synchronisation.  A
+region stays reserved until every worker has replied to the request that
+referenced it (including crash-recovery retries, which resend the same
+``(offset, length)``), so the allocator is a plain parent-side FIFO:
+
+* ``try_reserve(n)`` hands out a contiguous ``[offset, offset + n)`` —
+  wrapping to 0 when the tail of the buffer is too short — or returns
+  ``None`` when the ring is full (the caller falls back to the pipe,
+  which is backpressure, not failure);
+* ``free_oldest()`` retires reservations in reservation order.
+
+CPython wart: a child process that *attaches* to an existing segment
+still registers it with :mod:`multiprocessing.resource_tracker`, which
+would unlink the segment when the first child exits.  :meth:`attach`
+unregisters the mapping so the creating parent keeps sole ownership of
+the segment's lifetime.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional, Tuple
+
+#: Default ring size; a batch that does not fit falls back to the pipe.
+DEFAULT_RING_BYTES = 1 << 20
+
+
+class ShmRing:
+    """Contiguous-reservation byte ring over one shared-memory segment."""
+
+    __slots__ = ("shm", "capacity", "owner", "_head", "_tail", "_pending")
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, capacity: int, owner: bool
+    ) -> None:
+        self.shm = shm
+        self.capacity = capacity
+        self.owner = owner
+        self._head = 0
+        self._tail = 0
+        #: Outstanding reservations, oldest first: (offset, length).
+        self._pending: deque = deque()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_RING_BYTES) -> "ShmRing":
+        """Create a fresh segment; the creator owns (and unlinks) it."""
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        shm = shared_memory.SharedMemory(create=True, size=capacity)
+        return cls(shm, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "ShmRing":
+        """Map an existing segment read-only-by-convention (worker side).
+
+        Attaching would normally register the segment with the process
+        tree's shared :mod:`resource_tracker`, whose bookkeeping is one
+        *set* of names — a child registering and later unregistering
+        would erase the parent's entry and turn the parent's ``unlink``
+        into a tracker warning.  Registration is suppressed for the
+        duration of the attach instead: only the creating parent ever
+        tracks the segment.
+        """
+        original = resource_tracker.register
+
+        def _skip_shared_memory(target, rtype):
+            if rtype != "shared_memory":
+                original(target, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+        return cls(shm, capacity, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    # -- producer-side allocator --------------------------------------------
+
+    def try_reserve(self, length: int) -> Optional[int]:
+        """Reserve a contiguous region; ``None`` means the ring is full."""
+        if length < 1 or length > self.capacity:
+            return None
+        if not self._pending:
+            self._head = length
+            self._tail = 0
+            self._pending.append((0, length))
+            return 0
+        head, tail = self._head, self._tail
+        if head >= tail:
+            if self.capacity - head >= length:
+                offset = head
+                self._head = head + length
+            elif tail > length:
+                # The tail of the buffer is too short; wrap to 0.  The
+                # strict inequality keeps head != tail while non-empty,
+                # so free space never aliases reserved space.
+                offset = 0
+                self._head = length
+            else:
+                return None
+        else:
+            if tail - head > length:
+                offset = head
+                self._head = head + length
+            else:
+                return None
+        self._pending.append((offset, length))
+        return offset
+
+    def free_oldest(self) -> Tuple[int, int]:
+        """Retire the oldest reservation; returns its (offset, length)."""
+        offset, length = self._pending.popleft()
+        if not self._pending:
+            # Empty ring: rewind so the next batch gets the whole
+            # buffer contiguously.
+            self._head = 0
+            self._tail = 0
+        else:
+            self._tail = self._pending[0][0]
+        return offset, length
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # -- data plane ----------------------------------------------------------
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.shm.buf[offset : offset + len(data)] = data
+
+    def view(self, offset: int, length: int) -> memoryview:
+        """Zero-copy window onto a region (release it after decoding)."""
+        return self.shm.buf[offset : offset + length]
+
+    def read(self, offset: int, length: int) -> bytes:
+        return bytes(self.shm.buf[offset : offset + length])
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap the segment; the owner also unlinks it."""
+        try:
+            self.shm.close()
+        except (OSError, BufferError):
+            pass
+        if self.owner:
+            try:
+                self.shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 — interpreter may be tearing down
+            pass

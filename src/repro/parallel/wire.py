@@ -24,7 +24,8 @@ caller.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import struct
+from typing import Iterator, List, Sequence, Tuple
 
 from repro import errors as _errors
 from repro.core.query import DasQuery
@@ -93,6 +94,114 @@ def encode_notifications(notifications) -> List[NotificationPayload]:
         )
         for notification in notifications
     ]
+
+
+#: Struct layouts of the binary batch codec (little-endian, packed).
+_BATCH_HEADER = struct.Struct("<I")
+_DOC_HEADER = struct.Struct("<qdII")
+_RECORD = struct.Struct("<qqq")
+#: ``text_len`` sentinel distinguishing ``None`` from the empty string.
+_TEXT_NONE = 0xFFFFFFFF
+
+#: Exceptions the binary codec raises on out-of-range fields (term count
+#: above uint16, term id above uint32, pathological text).  Callers
+#: catch this tuple and fall back to the pickle pipe — overflow is a
+#: routing decision, not an error.
+WIRE_OVERFLOW = (struct.error, ValueError, OverflowError)
+
+
+def encode_document_batch(payloads: Sequence[DocumentPayload]) -> bytes:
+    """Pack document payloads into one flat binary blob (shm wire form).
+
+    Layout: ``u32 ndocs`` then per document ``i64 doc_id, f64 created_at,
+    u32 nterms, u32 text_len`` followed by ``nterms`` u32 term ids,
+    ``nterms`` u16 term counts and the utf-8 text bytes (``text_len`` is
+    the :data:`_TEXT_NONE` sentinel for ``None``).  Raises one of
+    :data:`WIRE_OVERFLOW` when a field does not fit — the caller then
+    ships the batch over the pipe instead.
+    """
+    parts = [_BATCH_HEADER.pack(len(payloads))]
+    for doc_id, created_at, ids, counts, text in payloads:
+        if text is None:
+            text_bytes = b""
+            text_len = _TEXT_NONE
+        else:
+            text_bytes = text.encode("utf-8")
+            text_len = len(text_bytes)
+            if text_len >= _TEXT_NONE:
+                raise ValueError("document text too long for the shm wire")
+        n = len(ids)
+        parts.append(_DOC_HEADER.pack(doc_id, created_at, n, text_len))
+        parts.append(struct.pack(f"<{n}I", *ids))
+        parts.append(struct.pack(f"<{n}H", *counts))
+        parts.append(text_bytes)
+    return b"".join(parts)
+
+
+def iter_document_payloads(buffer) -> Iterator[DocumentPayload]:
+    """Decode a :func:`encode_document_batch` blob lazily, in place.
+
+    Works directly over any buffer object (a shared-memory view in the
+    worker), copying only the text bytes; yielding per document lets the
+    worker time each document's decode as one telemetry observation.
+    """
+    (ndocs,) = _BATCH_HEADER.unpack_from(buffer, 0)
+    offset = _BATCH_HEADER.size
+    for _ in range(ndocs):
+        doc_id, created_at, n, text_len = _DOC_HEADER.unpack_from(
+            buffer, offset
+        )
+        offset += _DOC_HEADER.size
+        ids = struct.unpack_from(f"<{n}I", buffer, offset)
+        offset += 4 * n
+        counts = struct.unpack_from(f"<{n}H", buffer, offset)
+        offset += 2 * n
+        if text_len == _TEXT_NONE:
+            text = None
+        else:
+            text = bytes(buffer[offset : offset + text_len]).decode("utf-8")
+            offset += text_len
+        yield (doc_id, created_at, ids, counts, text)
+
+
+def decode_document_batch(buffer) -> List[DocumentPayload]:
+    """Eager inverse of :func:`encode_document_batch` (tests, tooling)."""
+    return list(iter_document_payloads(buffer))
+
+
+def encode_notification_records(notifications) -> bytes:
+    """Pack notifications as fixed-width records (the compact reply form).
+
+    One ``i64 × 3`` record per notification — query id, document id,
+    replaced document id (``-1`` encodes "no eviction") — prefixed with
+    a u32 count.  Workers return this blob instead of a pickled list of
+    tuples for every publish reply.
+    """
+    parts = [_BATCH_HEADER.pack(len(notifications))]
+    for notification in notifications:
+        replaced = notification.replaced
+        parts.append(
+            _RECORD.pack(
+                notification.query_id,
+                notification.document.doc_id,
+                replaced.doc_id if replaced is not None else -1,
+            )
+        )
+    return b"".join(parts)
+
+
+def decode_notification_records(data) -> List[NotificationPayload]:
+    """Inverse of :func:`encode_notification_records` -> id triples."""
+    (count,) = _BATCH_HEADER.unpack_from(data, 0)
+    offset = _BATCH_HEADER.size
+    triples: List[NotificationPayload] = []
+    for _ in range(count):
+        query_id, doc_id, replaced_id = _RECORD.unpack_from(data, offset)
+        offset += _RECORD.size
+        triples.append(
+            (query_id, doc_id, replaced_id if replaced_id >= 0 else None)
+        )
+    return triples
 
 
 def encode_error(exc: BaseException) -> Tuple[str, str, str]:

@@ -12,9 +12,26 @@ The loop is strictly request/reply over one duplex pipe; the parent
 pipelines broadcasts by sending to every worker before reading any
 reply, which is where the process-level parallelism comes from.
 
+Documents arrive on one of two transports:
+
+``publish_batch``
+    Legacy pickle path — the args carry the document payload tuples.
+    Kept for journal replay after a crash, for batches the binary codec
+    cannot represent, and as the ``REPRO_DISABLE_SHM`` fallback.
+``publish_shm``
+    Zero-copy path — the args are ``(offset, length, count)`` into the
+    shared-memory ring the worker attached at startup (see
+    :mod:`repro.parallel.shm`); the batch is decoded in place.
+
+Both transports observe ``wire_decode`` once per document and
+``wire_encode`` once per reply into the telemetry snapshot's ``"wire"``
+section, and both reply with the compact fixed-width record blob of
+:func:`~repro.parallel.wire.encode_notification_records`.
+
 Fault injection: the parent may hand the *initial* worker a fault-plan
 string.  Its ``worker.publish_batch`` point fires once per publish batch
-arrival; a raising action is **process-fatal** here — the worker exits
+arrival — on either transport, so fault schedules are transport
+agnostic; a raising action is **process-fatal** here — the worker exits
 hard (``os._exit``), modelling a real crash mid-protocol.  Restarted
 workers get no plan, so an injected crash is transient and recovery is
 deterministic.
@@ -23,15 +40,18 @@ deterministic.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional
+import time
+from typing import Dict, Optional, Tuple
 
 from repro.core.engine import DasEngine
-from repro.errors import InjectedFaultError
+from repro.errors import InjectedFaultError, ReproError
+from repro.parallel.shm import ShmRing
 from repro.parallel.wire import (
     decode_document,
     decode_query,
     encode_error,
-    encode_notifications,
+    encode_notification_records,
+    iter_document_payloads,
 )
 from repro.persistence.checkpoint import (
     _config_from_dict,
@@ -41,9 +61,16 @@ from repro.persistence.checkpoint import (
 from repro.telemetry import Telemetry
 from repro.text.vocabulary import Vocabulary
 
+#: Ops that carry a document batch (and hence fire the batch fault point
+#: and the wire-path telemetry), keyed off their transport.
+_PUBLISH_OPS = ("publish_batch", "publish_shm")
+
 
 def worker_main(
-    conn, config_payload: Dict, fault_plan: Optional[str] = None
+    conn,
+    config_payload: Dict,
+    fault_plan: Optional[str] = None,
+    ring_spec: Optional[Tuple[str, int]] = None,
 ) -> None:
     """Serve engine ops over ``conn`` until "stop" or pipe EOF."""
     if fault_plan:
@@ -54,6 +81,12 @@ def worker_main(
         injector = FaultPlan.parse(fault_plan).injector()
     else:
         injector = None
+    ring: Optional[ShmRing] = None
+    if ring_spec is not None:
+        try:
+            ring = ShmRing.attach(ring_spec[0], ring_spec[1])
+        except (OSError, FileNotFoundError, ValueError):
+            ring = None  # publish_shm requests will be rejected politely
     vocab = Vocabulary()
     config = _config_from_dict(config_payload)
     engine = DasEngine(config, telemetry=Telemetry())
@@ -72,25 +105,78 @@ def worker_main(
         if op == "crash":  # test/chaos helper: die without replying
             os._exit(1)
         try:
-            if op == "publish_batch" and injector is not None:
+            if op in _PUBLISH_OPS and injector is not None:
                 try:
                     injector.fire("worker.publish_batch")
                 except InjectedFaultError:
                     os._exit(1)  # a crash, not an error reply
-            result, engine = _dispatch(engine, vocab, op, args)
+            result, engine = _dispatch(engine, vocab, op, args, ring)
         except Exception as exc:  # noqa: BLE001 — every error crosses the pipe
             conn.send(encode_error(exc))
         else:
             conn.send(("ok", result))
+    if ring is not None:
+        ring.close()
     conn.close()
 
 
-def _dispatch(engine: DasEngine, vocab: Vocabulary, op: str, args):
+def _decode_timed(source, vocab: Vocabulary, telemetry) -> list:
+    """Decode wire payloads to documents, one ``wire_decode`` obs each.
+
+    ``source`` yields payload tuples; for the shm transport it is the
+    lazy in-place parser, so each observation covers that document's
+    struct parse *and* vocabulary rebuild — the full off-the-wire cost.
+    """
+    timer = time.perf_counter
+    iterator = iter(source)
+    documents = []
+    while True:
+        started = timer()
+        try:
+            payload = iterator.__next__()
+        except StopIteration:
+            break
+        document = decode_document(payload, vocab)
+        if telemetry is not None:
+            telemetry.observe_wire("wire_decode", timer() - started)
+        documents.append(document)
+    return documents
+
+
+def _publish(engine: DasEngine, vocab: Vocabulary, source):
+    """Shared tail of both publish transports: decode, publish, reply."""
+    telemetry = engine.telemetry
+    documents = _decode_timed(source, vocab, telemetry)
+    notifications = engine.publish_batch(documents)
+    started = time.perf_counter()
+    blob = encode_notification_records(notifications)
+    if telemetry is not None:
+        telemetry.observe_wire("wire_encode", time.perf_counter() - started)
+    return blob
+
+
+def _dispatch(
+    engine: DasEngine,
+    vocab: Vocabulary,
+    op: str,
+    args,
+    ring: Optional[ShmRing],
+):
     """Execute one op; returns (result, possibly-replaced engine)."""
     if op == "publish_batch":
-        documents = [decode_document(payload, vocab) for payload in args[0]]
-        notifications = engine.publish_batch(documents)
-        return encode_notifications(notifications), engine
+        return _publish(engine, vocab, args[0]), engine
+    if op == "publish_shm":
+        if ring is None:
+            raise ReproError("worker has no shared-memory ring attached")
+        offset, length, _count = args
+        view = ring.view(offset, length)
+        try:
+            return (
+                _publish(engine, vocab, iter_document_payloads(view)),
+                engine,
+            )
+        finally:
+            view.release()
     if op == "subscribe":
         query = decode_query(args[0], args[1], vocab)
         initial = engine.subscribe(query)

@@ -87,6 +87,8 @@ def _run_scenario(
     mismatches: List[str] = []
     events: List[str] = []
     notifications_seen = 0
+    published = 0
+    publish_calls = 0
 
     def check(label: str, ok: bool) -> None:
         if not ok:
@@ -130,6 +132,8 @@ def _run_scenario(
                 oracle_notes = oracle.publish_batch(batch)
                 parallel_notes = parallel.publish_batch(batch)
                 notifications_seen += len(parallel_notes)
+                published += len(batch)
+                publish_calls += 1
                 check(
                     f"notifications @{op_index}",
                     _note_set(oracle_notes) == _note_set(parallel_notes),
@@ -147,6 +151,34 @@ def _run_scenario(
                 abs(dr_oracle - dr_parallel)
                 <= DR_TOLERANCE * max(1.0, abs(dr_oracle)),
             )
+        # Wire-path coherence: every worker decodes every published
+        # document exactly once (one wire_decode observation each) and
+        # encodes one reply per publish request.  A crash resets that
+        # worker's ledger, so faulted scenarios can only bound the
+        # merged counts from above; the clean scenario checks equality.
+        snapshot = parallel.telemetry_snapshot()
+        wire_section = (snapshot or {}).get("wire", {})
+        decode_observations = sum(
+            wire_section.get("wire_decode", {}).get("counts", [])
+        )
+        encode_observations = sum(
+            wire_section.get("wire_encode", {}).get("counts", [])
+        )
+        crashed = fault_plan is not None or kill_at is not None
+        if crashed:
+            check(
+                "wire decode bound",
+                decode_observations <= workers * published,
+            )
+        else:
+            check(
+                "wire decode coherence",
+                decode_observations == workers * published,
+            )
+            check(
+                "wire encode coherence",
+                encode_observations == workers * publish_calls,
+            )
         worker_stats = parallel.worker_stats()
     finally:
         parallel.close()
@@ -158,6 +190,10 @@ def _run_scenario(
         "notifications": notifications_seen,
         "restarts": worker_stats["restarts"],
         "recoveries": worker_stats["recoveries"],
+        "wire": {
+            "decode_observations": decode_observations,
+            "encode_observations": encode_observations,
+        },
         "mismatches": mismatches,
         "ok": not mismatches,
     }

@@ -60,6 +60,15 @@ ENGINE_STAGES = (
 #: Runtime-side stages measured by the serving pipeline.
 PIPELINE_STAGES = ("ingest_queue", "micro_batch", "notify")
 
+#: Wire-path stages of the process-parallel deployment.  They are *not*
+#: per-publish stages: ``wire_decode`` is observed once per document a
+#: worker decodes off the wire (so its count tracks publish spans when
+#: every batch decodes cleanly), while ``wire_encode`` is observed once
+#: per reply a worker encodes (per request, not per document).  They
+#: live in the snapshot's separate ``"wire"`` section so the
+#: one-observation-per-span invariant over ``"stages"`` stays exact.
+WIRE_STAGES = ("wire_decode", "wire_encode")
+
 #: Which work counters each engine stage moves (for span counter deltas).
 STAGE_COUNTERS = {
     "postings_traversal": (
@@ -132,6 +141,21 @@ class Telemetry:
         )
         #: Most recent sampled traces (bounded; excluded from snapshots).
         self.traces = deque(maxlen=trace_capacity)
+        #: Wire-path histograms, materialised on first observation so
+        #: in-process engines carry no wire series at all.
+        self._wire_histograms: Dict[str, LatencyHistogram] = {}
+
+    # -- wire path ---------------------------------------------------------
+
+    def observe_wire(self, stage: str, seconds: float) -> None:
+        """Observe one wire-path event (see :data:`WIRE_STAGES`)."""
+        histogram = self._wire_histograms.get(stage)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                stage, f"Per-event {stage} latency (seconds)."
+            )
+            self._wire_histograms[stage] = histogram
+        histogram.observe(seconds)
 
     # -- publish lifecycle -------------------------------------------------
 
@@ -217,6 +241,10 @@ class Telemetry:
                 stage: histogram.to_wire()
                 for stage, histogram in self._stage_histograms.items()
             },
+            "wire": {
+                stage: histogram.to_wire()
+                for stage, histogram in self._wire_histograms.items()
+            },
             "spans": self.span_counts(),
         }
 
@@ -225,6 +253,7 @@ def empty_snapshot() -> Dict:
     """The identity element of :func:`merge_snapshots`."""
     return {
         "stages": {},
+        "wire": {},
         "spans": {"started": 0, "finished": 0, "aborted": 0, "sampled": 0},
     }
 
@@ -240,11 +269,14 @@ def merge_snapshots(snapshots: Iterable[Optional[Dict]]) -> Dict:
     for snapshot in snapshots:
         if snapshot is None:
             continue
-        for stage, wire in snapshot.get("stages", {}).items():
-            existing = merged["stages"].get(stage)
-            merged["stages"][stage] = (
-                dict(wire) if existing is None else merge_wire(existing, wire)
-            )
+        for section in ("stages", "wire"):
+            for stage, wire in snapshot.get(section, {}).items():
+                existing = merged[section].get(stage)
+                merged[section][stage] = (
+                    dict(wire)
+                    if existing is None
+                    else merge_wire(existing, wire)
+                )
         for state, value in snapshot.get("spans", {}).items():
             merged["spans"][state] = (
                 merged["spans"].get(state, 0) + int(value)
@@ -266,6 +298,7 @@ __all__ = [
     "STAGE_COUNTERS",
     "Telemetry",
     "TraceSampler",
+    "WIRE_STAGES",
     "effectiveness_gauges",
     "empty_snapshot",
     "merge_snapshots",

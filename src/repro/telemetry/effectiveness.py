@@ -24,6 +24,7 @@ BOUNDED_RATIOS = (
     "quick_rejection_ratio",
     "group_check_skip_ratio",
     "match_rate",
+    "vectorized_batch_fraction",
 )
 
 
@@ -64,4 +65,13 @@ def effectiveness_gauges(
         ),
         # Share of evaluated queries that produced a result update.
         "match_rate": _ratio(values["matches"], queries_evaluated),
+        # Share of publish micro-batches the adaptive kernel layer
+        # committed to the vectorised shape (``.get``: counter dicts
+        # from checkpoints older than the columnar layout lack the
+        # batch-mode counters, and must read as all-scalar, not crash).
+        "vectorized_batch_fraction": _ratio(
+            values.get("batches_vectorized", 0),
+            values.get("batches_vectorized", 0)
+            + values.get("batches_scalar", 0),
+        ),
     }

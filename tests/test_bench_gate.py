@@ -46,7 +46,7 @@ def _scaled(payload, factor):
 
     def scale(node):
         for key, value in node.items():
-            if key == "docs_per_sec":
+            if key in ("docs_per_sec", "speedup_vs_inprocess"):
                 node[key] = value * factor
             elif isinstance(value, dict):
                 scale(value)
@@ -69,6 +69,7 @@ def test_collect_rates_server_schema():
         "results.4": 9000.0,
         "parallel_workers.0": 9000.0,
         "parallel_workers.2": 4000.0,
+        "derived.parallel_speedup": 0.44,
     }
 
 
@@ -79,6 +80,40 @@ def test_collect_rates_publish_schema():
         "results.GIFilter.numpy": 700.0,
         "results.IRT.python": 50.0,
     }
+
+
+def test_derived_rows():
+    """Cross-variant ratios get their own gated rows (ISSUE 6)."""
+    publish = json.loads(json.dumps(PUBLISH_PAYLOAD))
+    publish["results"]["GIFilter"]["auto"] = 1650.0
+    rates = collect_rates(publish)
+    assert rates["derived.kernel_speedup"] == pytest.approx(1.1)
+
+    server = json.loads(json.dumps(SERVER_PAYLOAD))
+    server["wire"] = {
+        "shm_pipe_bytes_per_doc": 18.0,
+        "fallback_pipe_bytes_per_doc": 180.0,
+        "pipe_reduction_factor": 10.0,
+    }
+    rates = collect_rates(server)
+    assert rates["derived.wire_reduction"] == 10.0
+    assert rates["derived.parallel_speedup"] == 0.44
+    # Only the ratio row is gated; the raw byte figures are not rates.
+    assert "wire.shm_pipe_bytes_per_doc" not in rates
+
+
+def test_derived_speedup_regression_fails_gate():
+    """An auto backend that falls back below python trips the gate even
+    if every absolute rate moved within tolerance."""
+    baseline = json.loads(json.dumps(PUBLISH_PAYLOAD))
+    baseline["results"]["GIFilter"]["auto"] = 1650.0  # 1.1x python
+    fresh = json.loads(json.dumps(PUBLISH_PAYLOAD))
+    fresh["results"]["GIFilter"]["auto"] = 1200.0  # 0.8x python
+    statuses = {
+        key: status for key, _, _, status in compare(baseline, fresh, 0.20)
+    }
+    assert statuses["derived.kernel_speedup"] == "regressed"
+    assert statuses["results.GIFilter.python"] == "ok"
 
 
 def test_compare_within_tolerance_passes():

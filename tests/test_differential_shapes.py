@@ -1,0 +1,151 @@
+"""Differential suite: the three engine shapes must agree exactly.
+
+ISSUE 6 touches both ends of every shape — the columnar index mirrors
+the per-query summaries inside each shard, and the shared-memory wire
+changes how documents reach parallel workers — so this suite drives the
+same seeded workload through
+
+* the single-process :class:`~repro.core.engine.DasEngine`,
+* the in-process :class:`~repro.distributed.ShardedDasEngine`, and
+* the multi-process :class:`~repro.parallel.ParallelShardedEngine`
+
+and asserts identical notifications, result lists and DR values, for
+both the ``python`` and adaptive ``auto`` backends and with the columnar
+mirror forced off.  A second group proves the columnar mirror is purely
+derived state: checkpoints restore it and a restore with the mirror
+disabled makes identical future decisions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.engine import DasEngine
+from repro.core.query import DasQuery
+from repro.distributed import ShardedDasEngine
+from repro.parallel import ParallelShardedEngine
+from repro.persistence.checkpoint import checkpoint, restore
+from repro.workloads.corpus import SyntheticTweetCorpus
+from repro.workloads.queries import lqd_queries
+
+N_SHARDS = 2
+BATCH = 12
+
+
+def _workload(seed=47):
+    corpus = SyntheticTweetCorpus(
+        vocab_size=220, n_topics=8, doc_length=(4, 10), seed=seed
+    )
+    return corpus.documents(96), lqd_queries(corpus, 12, first_id=0)
+
+
+def _config(backend):
+    return EngineConfig(k=4, block_size=8, backend=backend)
+
+
+def _note_key(notification):
+    return (
+        notification.query_id,
+        notification.document.doc_id,
+        notification.replaced.doc_id
+        if notification.replaced is not None
+        else None,
+    )
+
+
+def _trace(engine, docs, queries):
+    """Full observable behaviour: per-batch notification multisets (the
+    cross-shard merge order is shape-specific, the set of decisions is
+    not), ordered result lists, and exact DR values."""
+    trace = []
+    for query in queries:
+        initial = engine.subscribe(DasQuery(query.query_id, query.terms))
+        trace.append(("initial", query.query_id, [d.doc_id for d in initial]))
+    for start in range(0, len(docs), BATCH):
+        notes = engine.publish_batch(docs[start : start + BATCH])
+        trace.append(("notes", start, sorted(_note_key(n) for n in notes)))
+    for query in queries:
+        trace.append(
+            (
+                "final",
+                query.query_id,
+                [d.doc_id for d in engine.results(query.query_id)],
+                engine.current_dr(query.query_id),
+            )
+        )
+    return trace
+
+
+@pytest.mark.parametrize("backend", ["python", "auto"])
+def test_three_shapes_identical(backend):
+    docs, queries = _workload()
+    config = _config(backend)
+    single = _trace(DasEngine(config), docs, queries)
+    sharded = _trace(ShardedDasEngine(N_SHARDS, config), docs, queries)
+    assert sharded == single
+    with ParallelShardedEngine(N_SHARDS, config) as parallel:
+        assert _trace(parallel, docs, queries) == single
+
+
+@pytest.mark.parametrize("backend", ["python", "auto"])
+def test_columnar_mirror_does_not_change_decisions(monkeypatch, backend):
+    """The columnar fast path is an optimisation, never a behaviour."""
+    docs, queries = _workload(seed=48)
+    config = _config(backend)
+    baseline = _trace(DasEngine(config), docs, queries)
+    monkeypatch.setenv("REPRO_DISABLE_COLUMNAR", "1")
+    scalar_engine = DasEngine(config)
+    assert scalar_engine._qcols is None
+    assert _trace(scalar_engine, docs, queries) == baseline
+    with ParallelShardedEngine(N_SHARDS, config) as parallel:
+        assert _trace(parallel, docs, queries) == baseline
+
+
+def test_checkpoint_rebuilds_columnar_mirror():
+    docs, queries = _workload(seed=49)
+    engine = DasEngine(_config("auto"))
+    if engine._qcols is None:
+        pytest.skip("columnar mirror unavailable (no numpy)")
+    for query in queries:
+        engine.subscribe(DasQuery(query.query_id, query.terms))
+    engine.publish_batch(docs[:48])
+    restored = restore(checkpoint(engine))
+    # The mirror is derived state: not serialized, rebuilt on restore.
+    assert restored._qcols is not None
+    assert set(restored._qcols.slot_of) == set(engine._qcols.slot_of)
+    # And the restored engine makes identical decisions from here on.
+    for start in range(48, len(docs), BATCH):
+        batch = docs[start : start + BATCH]
+        assert sorted(
+            _note_key(n) for n in restored.publish_batch(batch)
+        ) == sorted(_note_key(n) for n in engine.publish_batch(batch))
+    for query in queries:
+        assert [
+            d.doc_id for d in restored.results(query.query_id)
+        ] == [d.doc_id for d in engine.results(query.query_id)]
+        assert restored.current_dr(query.query_id) == engine.current_dr(
+            query.query_id
+        )
+
+
+def test_checkpoint_restores_without_columnar(monkeypatch):
+    """A checkpoint written with the mirror loads fine without it."""
+    docs, queries = _workload(seed=49)
+    engine = DasEngine(_config("auto"))
+    for query in queries:
+        engine.subscribe(DasQuery(query.query_id, query.terms))
+    engine.publish_batch(docs[:48])
+    payload = checkpoint(engine)
+    monkeypatch.setenv("REPRO_DISABLE_COLUMNAR", "1")
+    restored = restore(payload)
+    assert restored._qcols is None
+    for start in range(48, len(docs), BATCH):
+        batch = docs[start : start + BATCH]
+        assert sorted(
+            _note_key(n) for n in restored.publish_batch(batch)
+        ) == sorted(_note_key(n) for n in engine.publish_batch(batch))
+    for query in queries:
+        assert restored.current_dr(query.query_id) == engine.current_dr(
+            query.query_id
+        )
