@@ -30,7 +30,7 @@ from typing import Dict, List, Sequence, Tuple
 DEFAULT_TOLERANCE = 0.20
 
 #: Top-level payload sections that hold gated rates.
-RATE_SECTIONS = ("results", "parallel_workers")
+RATE_SECTIONS = ("results", "parallel_workers", "cluster")
 
 
 def derive_rates(payload: dict) -> Dict[str, float]:
@@ -50,6 +50,11 @@ def derive_rates(payload: dict) -> Dict[str, float]:
         Pipe bytes/doc with the pickle transport over the same with the
         shared-memory wire (server-throughput schema) — how many times
         less the parent serializes per published document.
+    ``derived.cluster_overhead``
+        Cluster-tier docs/sec over the in-process engine
+        (server-throughput schema): throughput retention of the TCP
+        coordinator path, <= 1 — a drop means the tier got relatively
+        more expensive.
     """
     derived: Dict[str, float] = {}
     gifilter = payload.get("results", {}).get("GIFilter")
@@ -64,6 +69,9 @@ def derive_rates(payload: dict) -> Dict[str, float]:
     reduction = payload.get("wire", {}).get("pipe_reduction_factor")
     if reduction:
         derived["derived.wire_reduction"] = float(reduction)
+    retention = payload.get("cluster", {}).get("throughput_vs_inprocess")
+    if retention:
+        derived["derived.cluster_overhead"] = float(retention)
     return derived
 
 

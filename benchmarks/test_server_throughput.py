@@ -50,6 +50,8 @@ MEASURE_ROUNDS = 2
 WORKER_COUNTS = (0, 2, 4)
 #: Publisher count used for the parallel-engine sweep.
 PARALLEL_PUBLISHERS = 4
+#: Shard-node processes for the cluster row (ISSUE 7).
+CLUSTER_NODES = 2
 
 N_QUERIES = 16
 VOCAB = [f"term{i}" for i in range(40)]
@@ -165,6 +167,58 @@ def run_parallel_suite():
     return results
 
 
+def run_cluster_suite():
+    """The multi-node deployment (ISSUE 7): docs/sec through the full
+    coordinator path — journal append, ``replicate`` fan-out over TCP
+    to node subprocesses, doc-major/shard-minor merge — with the same
+    query load as the other suites.  No standbys: this measures the
+    wire cost of the tier, not replication lag."""
+    from repro.cluster import launch_cluster
+
+    corpus = SyntheticTweetCorpus(
+        vocab_size=250, n_topics=8, doc_length=(4, 10), seed=5
+    )
+    total = DOCS_PER_ROUND * (MEASURE_ROUNDS + 1)
+    docs = corpus.documents(total)
+    queries = lqd_queries(corpus, N_QUERIES, first_id=0)
+    engine, primaries, _standbys = launch_cluster(
+        CLUSTER_NODES, replicas=0, method="GIFilter", k=10
+    )
+    rates = []
+    notified = 0
+    try:
+        for query in queries:
+            engine.subscribe(DasQuery(query.query_id, query.terms))
+        for round_index in range(MEASURE_ROUNDS + 1):
+            chunk = docs[
+                round_index * DOCS_PER_ROUND
+                : (round_index + 1) * DOCS_PER_ROUND
+            ]
+            start = time.perf_counter()
+            for batch_start in range(0, len(chunk), 16):
+                notified += len(
+                    engine.publish_batch(
+                        chunk[batch_start : batch_start + 16]
+                    )
+                )
+            elapsed = time.perf_counter() - start
+            if round_index == 0:
+                continue  # warm-up round
+            rates.append(len(chunk) / elapsed if elapsed > 0 else 0.0)
+        published = engine.counters.docs_published
+    finally:
+        engine.close()
+        for node in primaries:
+            node.stop()
+    return {
+        "docs_per_sec": max(rates),
+        "rounds": [round(rate, 1) for rate in rates],
+        "nodes": CLUSTER_NODES,
+        "published": published,
+        "notified": notified,
+    }
+
+
 def _wire_bytes_per_doc(disable_shm):
     """Parent-side pipe serialization per published document (ISSUE 6).
 
@@ -276,6 +330,12 @@ def test_server_throughput():
         assert record["accepted"] == DOCS_PER_ROUND * (MEASURE_ROUNDS + 1)
         assert record["restarts"] == 0, n_workers  # no crashes under load
 
+    cluster = run_cluster_suite()
+    assert cluster["docs_per_sec"] > 0.0
+    # Zero accepted-op loss under load: every published document is
+    # accounted for by the surviving nodes' merged counters.
+    assert cluster["published"] == DOCS_PER_ROUND * (MEASURE_ROUNDS + 1)
+
     wire = run_wire_suite()
     # ISSUE 6 acceptance: the shared-memory wire serializes at least
     # 5x fewer bytes per document onto the worker pipes.
@@ -283,9 +343,19 @@ def test_server_throughput():
     assert wire["pipe_reduction_factor"] >= 5.0
 
     baseline = parallel_results[0]["docs_per_sec"]
+    cluster_line = (
+        f"\nCluster ({CLUSTER_NODES} TCP node processes, no standbys): "
+        f"{cluster['docs_per_sec']:.1f} docs/sec "
+        f"({cluster['docs_per_sec'] / baseline:.2f}x of in-process)"
+        if baseline
+        else ""
+    )
     write_output(
         "server_throughput",
-        format_table(results, parallel_results) + "\n\n" + format_wire(wire),
+        format_table(results, parallel_results)
+        + "\n\n"
+        + format_wire(wire)
+        + cluster_line,
     )
     payload = {
         "benchmark": "server_throughput",
@@ -322,6 +392,16 @@ def test_server_throughput():
                 ),
             }
             for n_workers, record in parallel_results.items()
+        },
+        "cluster": {
+            "docs_per_sec": cluster["docs_per_sec"],
+            "rounds": cluster["rounds"],
+            "nodes": cluster["nodes"],
+            # Throughput retention vs the in-process engine (<= 1; a
+            # drop means the cluster tier got relatively slower).
+            "throughput_vs_inprocess": (
+                cluster["docs_per_sec"] / baseline if baseline else None
+            ),
         },
         "wire": wire,
     }

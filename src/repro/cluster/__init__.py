@@ -1,0 +1,26 @@
+"""Multi-node cluster tier: TCP coordinator, replicated shard nodes.
+
+The cluster generalises :class:`~repro.distributed.sharded.
+ShardedDasEngine` (threads of one process) and :class:`~repro.parallel.
+ParallelShardedEngine` (worker processes on one machine) to *network*
+nodes: each shard is a full serving stack — :class:`~repro.server.
+runtime.ServerRuntime` behind :class:`~repro.server.tcp.NdjsonTcpServer`
+— reached over the NDJSON protocol, optionally paired with a standby
+replica kept current by streaming the coordinator's op journal.  See
+DESIGN.md §13 for the architecture and the failover state machine.
+"""
+
+from repro.cluster.coordinator import ClusterEngine, NodeClient, ShardState
+from repro.cluster.launcher import NodeProcess, launch_cluster
+from repro.cluster.membership import MembershipMonitor
+from repro.cluster.node import run_node
+
+__all__ = [
+    "ClusterEngine",
+    "MembershipMonitor",
+    "NodeClient",
+    "NodeProcess",
+    "ShardState",
+    "launch_cluster",
+    "run_node",
+]

@@ -1,0 +1,802 @@
+"""The cluster coordinator: journal-first replication over NDJSON TCP.
+
+:class:`ClusterEngine` is the network generalisation of
+:class:`~repro.distributed.sharded.ShardedDasEngine`: N shard *nodes*
+(each a full serving stack reached over TCP), queries routed to one
+shard, documents broadcast to all shards, per-shard notification
+streams merged document-major / shard-minor — so cluster results are
+identical to the single-process engine's (the differential tests
+compare them byte for byte).
+
+Every state-changing op follows one discipline (DESIGN.md §13):
+
+1. validate coordinator-side (the coordinator is the single sequencer
+   for query ids and document ids, so ordering violations are caught
+   *before* anything is journaled);
+2. append the op to the shard's :class:`~repro.persistence.journal.
+   OpJournal` — the journal entry, not the TCP send, is the acceptance
+   record;
+3. ship the journal suffix to the shard primary via the ``replicate``
+   op and read the per-entry results (notification id-triples) back.
+
+Because acceptance precedes transmission, a primary that dies mid-op
+loses nothing: failover promotes the standby and the normal catch-up
+replay (``entries_since(standby.applied)``) re-applies every accepted
+op, including the in-flight one, on the new primary — zero accepted-op
+loss, and the replay recomputes the lost reply's notifications on an
+engine that is byte-identical by construction.
+
+Standby replicas are driven lazily through the *same* ``replicate`` op
+with ``notify=false``; the journal is truncated to the slowest
+consumer's applied offset, so memory stays bounded.  One known edge: in
+*degraded* mode (no standby) a connection that drops after the primary
+applied an op but before its reply arrives loses that op's notification
+triples — state stays consistent (the op is applied and journaled), but
+that single publish's pushes cannot be reconstructed without a replica.
+
+The engine facade is synchronous (it slots in anywhere a
+:class:`~repro.core.engine.DasEngine` does, including behind a
+:class:`~repro.server.runtime.ServerRuntime`); internally it owns a
+private asyncio loop on a daemon thread where all node I/O runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.events import Notification
+from repro.core.query import DasQuery
+from repro.errors import (
+    ConfigurationError,
+    DocumentOrderError,
+    DuplicateQueryError,
+    NodeDownError,
+    QueryOrderError,
+    ReplicationError,
+    ReproError,
+    UnknownQueryError,
+)
+from repro.metrics.instrumentation import Counters
+from repro.persistence.checkpoint import CHECKPOINT_VERSION
+from repro.persistence.journal import (
+    OpJournal,
+    publish_entry,
+    subscribe_entry,
+    unsubscribe_entry,
+)
+from repro.server.protocol import document_payload
+from repro.server.tcp import NdjsonTcpClient
+from repro.stream.document import Document
+from repro.telemetry import merge_snapshots
+from repro.text.vectors import TermVector
+
+#: Routing policies the coordinator supports.  ``least_loaded`` needs
+#: per-op posting counts, which would cost a network round trip per
+#: subscribe; route by hash if stable assignment matters.
+CLUSTER_ROUTING_POLICIES = ("round_robin", "hash")
+
+Address = Tuple[str, int]
+
+
+class NodeClient:
+    """One node connection plus the coordinator's view of its progress.
+
+    ``applied`` is the coordinator-tracked journal offset the node has
+    applied; it is advanced from ``replicate`` replies and refreshed
+    from ``cluster_stats`` when the tracked value goes stale (e.g. a
+    reply was lost to a reconnect).
+    """
+
+    def __init__(self, address: Address, client: NdjsonTcpClient) -> None:
+        self.address = address
+        self.client = client
+        self.applied = 0
+
+    @classmethod
+    async def connect(
+        cls, address: Address, jitter_seed: int = 0
+    ) -> "NodeClient":
+        client = await NdjsonTcpClient.connect(
+            address[0],
+            address[1],
+            reconnect=True,
+            jitter_seed=jitter_seed,
+        )
+        return cls(address, client)
+
+    async def replicate(
+        self, offset: int, entries: Sequence[Any], notify: bool
+    ) -> Dict[str, Any]:
+        return await self.client.request(
+            {
+                "op": "replicate",
+                "offset": offset,
+                "entries": list(entries),
+                "notify": notify,
+            }
+        )
+
+    async def cluster_stats(self, checkpoint: bool = False) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "cluster_stats"}
+        if checkpoint:
+            payload["checkpoint"] = True
+        return await self.client.request(payload)
+
+    async def handoff(self, payload: Dict, offset: int) -> Dict[str, Any]:
+        return await self.client.request(
+            {"op": "handoff", "checkpoint": payload, "offset": offset}
+        )
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return await self.client.request(payload)
+
+    async def close(self) -> None:
+        try:
+            await self.client.close()
+        except Exception:
+            pass
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "address": list(self.address),
+            "applied": self.applied,
+            "connection": self.client.connection_stats(),
+        }
+
+
+class ShardState:
+    """One shard: primary + optional standby + the replication journal."""
+
+    def __init__(
+        self,
+        index: int,
+        primary: NodeClient,
+        standby: Optional[NodeClient],
+        journal: OpJournal,
+    ) -> None:
+        self.index = index
+        self.primary = primary
+        self.standby = standby
+        self.journal = journal
+        #: Serialises ops, standby flushes and failover per shard.
+        self.lock = asyncio.Lock()
+        self.failovers = 0
+
+
+class ClusterEngine:
+    """Engine facade over N replicated shard nodes (the coordinator)."""
+
+    #: Per-op attempts: initial send, one failover/reconnect retry, and
+    #: one final retry after the reconnect client gave up dialing.
+    MAX_ATTEMPTS = 3
+
+    def __init__(
+        self,
+        nodes: Sequence[Address],
+        standbys: Optional[Sequence[Optional[Address]]] = None,
+        routing: str = "round_robin",
+        replica_lag: int = 8,
+        journal_dir: Optional[str] = None,
+    ) -> None:
+        if not nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        if routing not in CLUSTER_ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"unknown routing {routing!r}; expected one of "
+                f"{CLUSTER_ROUTING_POLICIES}"
+            )
+        if standbys is not None and len(standbys) != len(nodes):
+            raise ConfigurationError(
+                "standbys must align with nodes (use None for shards "
+                "without a replica)"
+            )
+        if replica_lag < 1:
+            raise ConfigurationError(
+                f"replica_lag must be >= 1, got {replica_lag}"
+            )
+        self.routing = routing
+        self._replica_lag = replica_lag
+        self._assignment: Dict[int, int] = {}
+        self._next_round_robin = 0
+        #: Coordinator-side mirror of published documents, by id, used
+        #: to rebuild Notification/result objects from wire id-triples.
+        self._documents: Dict[int, Document] = {}
+        self._last_query_id: Optional[int] = None
+        self._last_doc_id: Optional[int] = None
+        self._now = 0.0
+        self._failovers = 0
+        self._degraded = 0
+        self._closed = False
+        self.membership = None
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-cluster",
+            daemon=True,
+        )
+        self._thread.start()
+        try:
+            self._shards: List[ShardState] = self._call(
+                self._connect_all(list(nodes), standbys, journal_dir)
+            )
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    # -- loop plumbing ------------------------------------------------------
+
+    def _call(self, coro):
+        """Run a coroutine on the private loop; block for its result."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+
+    async def _connect_all(
+        self,
+        nodes: List[Address],
+        standbys: Optional[Sequence[Optional[Address]]],
+        journal_dir: Optional[str],
+    ) -> List[ShardState]:
+        shards = []
+        for index, address in enumerate(nodes):
+            primary = await NodeClient.connect(address, jitter_seed=index)
+            standby = None
+            if standbys is not None and standbys[index] is not None:
+                standby = await NodeClient.connect(
+                    standbys[index], jitter_seed=1000 + index
+                )
+            path = (
+                os.path.join(journal_dir, f"shard-{index}.journal")
+                if journal_dir is not None
+                else None
+            )
+            shards.append(
+                ShardState(index, primary, standby, OpJournal(path))
+            )
+        return shards
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def query_count(self) -> int:
+        return len(self._assignment)
+
+    def shard_of(self, query_id: int) -> int:
+        shard = self._assignment.get(query_id)
+        if shard is None:
+            raise UnknownQueryError(f"query {query_id} is not subscribed")
+        return shard
+
+    def query_id_floor(self) -> int:
+        last = self._last_query_id
+        return 0 if last is None else last + 1
+
+    def doc_id_floor(self) -> int:
+        last = self._last_doc_id
+        return 0 if last is None else last + 1
+
+    def clock_now(self) -> float:
+        return self._now
+
+    def cluster_stats(self) -> Dict[str, Any]:
+        """Coordinator-side membership/replication view (no network)."""
+        return {
+            "nodes": self.n_shards,
+            "routing": self.routing,
+            "queries": len(self._assignment),
+            "documents_mirrored": len(self._documents),
+            "failovers": self._failovers,
+            "degraded": self._degraded,
+            "membership": (
+                self.membership.as_dict()
+                if self.membership is not None
+                else None
+            ),
+            "shards": [
+                {
+                    "index": shard.index,
+                    "primary": shard.primary.as_dict(),
+                    "standby": (
+                        shard.standby.as_dict()
+                        if shard.standby is not None
+                        else None
+                    ),
+                    "journal": {
+                        "base": shard.journal.base,
+                        "end": shard.journal.end,
+                        "retained": len(shard.journal),
+                    },
+                    "failovers": shard.failovers,
+                }
+                for shard in self._shards
+            ],
+        }
+
+    # -- replication core ---------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise NodeDownError("cluster engine is closed")
+
+    async def _replay(self, shard: ShardState, notify: bool) -> Optional[List]:
+        """Ship everything the current primary has not applied yet.
+
+        Returns the per-entry results for the replayed suffix, or None
+        when the primary was already caught up (possible only when a
+        previous reply was lost).  A stale tracked offset is refreshed
+        once from the node's authoritative ``cluster_stats``.
+        """
+        node = shard.primary
+        entries = shard.journal.entries_since(node.applied)
+        try:
+            reply = await node.replicate(node.applied, entries, notify)
+        except ReplicationError:
+            stats = await node.cluster_stats()
+            node.applied = int(stats["node"]["applied_offset"])
+            entries = shard.journal.entries_since(node.applied)
+            if not entries:
+                return None
+            reply = await node.replicate(node.applied, entries, notify)
+        node.applied = int(reply["offset"])
+        return reply["results"]
+
+    def _promote(self, shard: ShardState) -> None:
+        """Fail the shard over to its standby (caller holds shard.lock)."""
+        dead = shard.primary
+        shard.primary = shard.standby
+        shard.standby = None
+        shard.failovers += 1
+        self._failovers += 1
+        asyncio.ensure_future(dead.close())
+
+    def _degrade(self, shard: ShardState) -> None:
+        """Drop a dead standby; the shard keeps serving unreplicated."""
+        standby = shard.standby
+        shard.standby = None
+        self._degraded += 1
+        asyncio.ensure_future(standby.close())
+
+    async def _apply_locked(
+        self, shard: ShardState, notify: bool
+    ) -> Optional[Any]:
+        """Drive the journal tail onto a live primary, failing over as
+        needed; returns the newest entry's result."""
+        last_error: Optional[Exception] = None
+        for _attempt in range(self.MAX_ATTEMPTS):
+            try:
+                results = await self._replay(shard, notify)
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                if shard.standby is not None:
+                    self._promote(shard)
+                continue
+            await self._flush_standby(shard)
+            return results[-1] if results else None
+        raise NodeDownError(
+            f"shard {shard.index}: primary unreachable and no standby "
+            f"left to promote"
+        ) from last_error
+
+    async def _apply(
+        self, shard: ShardState, entry: List[Any], notify: bool = True
+    ) -> Optional[Any]:
+        """Journal one op (acceptance), then drive it onto the shard."""
+        async with shard.lock:
+            shard.journal.append(entry)
+            return await self._apply_locked(shard, notify)
+
+    async def _flush_standby(
+        self, shard: ShardState, force: bool = False
+    ) -> None:
+        """Stream the journal tail to the standby once lag ≥ threshold.
+
+        After a successful flush the journal is truncated to the slowest
+        consumer's offset.  A standby that stops answering is dropped
+        (degraded mode) — truncation then stops at the primary's offset,
+        so a replacement standby can still be seeded via ``handoff``.
+        """
+        standby = shard.standby
+        if standby is None:
+            shard.journal.truncate_to(shard.primary.applied)
+            return
+        lag = shard.journal.end - standby.applied
+        if lag <= 0 or (not force and lag < self._replica_lag):
+            return
+        entries = shard.journal.entries_since(standby.applied)
+        try:
+            reply = await standby.replicate(
+                standby.applied, entries, notify=False
+            )
+            standby.applied = int(reply["offset"])
+        except ReplicationError:
+            try:
+                stats = await standby.cluster_stats()
+                standby.applied = int(stats["node"]["applied_offset"])
+            except (ConnectionError, OSError):
+                self._degrade(shard)
+            return
+        except (ConnectionError, OSError, ReproError):
+            self._degrade(shard)
+            return
+        shard.journal.truncate_to(
+            min(shard.primary.applied, standby.applied)
+        )
+
+    def flush_replication(self) -> None:
+        """Force every standby up to date (tests, pre-shutdown barrier)."""
+        self._check_open()
+        self._call(self._flush_all())
+
+    def sever(self, shard_index: int) -> None:
+        """Drop the TCP connection to a shard's primary (chaos harness).
+
+        Simulates a transient network partition: the node process stays
+        alive, so the reconnecting client dials back with backoff and
+        the next op waits out the blip instead of failing over.
+        """
+        self._check_open()
+        client = self._shards[shard_index].primary.client
+        self._loop.call_soon_threadsafe(client.abort_connection)
+
+    async def _flush_all(self) -> None:
+        for shard in self._shards:
+            async with shard.lock:
+                await self._flush_standby(shard, force=True)
+
+    # -- routing ------------------------------------------------------------
+
+    def _route(self, query: DasQuery) -> int:
+        if self.routing == "round_robin":
+            shard = self._next_round_robin
+            self._next_round_robin = (shard + 1) % self.n_shards
+            return shard
+        return query.query_id % self.n_shards
+
+    # -- engine facade ------------------------------------------------------
+
+    def subscribe(self, query: DasQuery) -> List[Document]:
+        self._check_open()
+        if query.query_id in self._assignment:
+            raise DuplicateQueryError(
+                f"query {query.query_id} already subscribed"
+            )
+        if (
+            self._last_query_id is not None
+            and query.query_id <= self._last_query_id
+        ):
+            # The coordinator is the id sequencer: reject out-of-order
+            # ids *before* journaling, so journal replay never fails.
+            raise QueryOrderError(
+                f"query id {query.query_id} is not greater than "
+                f"{self._last_query_id}"
+            )
+        return self._call(self._subscribe_async(query))
+
+    async def _subscribe_async(self, query: DasQuery) -> List[Document]:
+        shard_index = self._route(query)
+        shard = self._shards[shard_index]
+        result = await self._apply(
+            shard, subscribe_entry(query.query_id, query.terms)
+        )
+        self._assignment[query.query_id] = shard_index
+        self._last_query_id = query.query_id
+        if result is None:
+            reply = await shard.primary.request(
+                {"op": "results", "query_id": query.query_id}
+            )
+            result = [int(p["doc_id"]) for p in reply["results"]]
+        return [self._documents[doc_id] for doc_id in result]
+
+    def unsubscribe(self, query_id: int) -> None:
+        self._check_open()
+        shard_index = self.shard_of(query_id)
+        self._call(
+            self._apply(
+                self._shards[shard_index], unsubscribe_entry(query_id)
+            )
+        )
+        del self._assignment[query_id]
+
+    def publish(self, document: Document) -> List[Notification]:
+        return self.publish_batch([document])
+
+    def publish_batch(
+        self, documents: Iterable[Document]
+    ) -> List[Notification]:
+        """Broadcast a batch to every shard; merge in document order.
+
+        One journal entry per shard carries the full batch (explicit
+        ids and timestamps, so replay is exact); the per-shard
+        notification id-triples come back in the ``replicate`` reply
+        and are interleaved document-major / shard-minor against the
+        coordinator's document mirror — the same merge as
+        :meth:`ShardedDasEngine.publish_batch`, hence identical output.
+        """
+        self._check_open()
+        docs = list(documents)
+        if not docs:
+            return []
+        for document in docs:
+            if (
+                self._last_doc_id is not None
+                and document.doc_id <= self._last_doc_id
+            ):
+                raise DocumentOrderError(
+                    f"document id {document.doc_id} is not greater than "
+                    f"{self._last_doc_id}"
+                )
+            if document.created_at < self._now:
+                raise DocumentOrderError(
+                    f"document {document.doc_id} timestamp "
+                    f"{document.created_at} precedes {self._now}"
+                )
+            self._last_doc_id = document.doc_id
+            self._now = document.created_at
+        for document in docs:
+            self._documents[document.doc_id] = document
+        entry = publish_entry(
+            [document_payload(document) for document in docs]
+        )
+        per_shard = self._call(self._broadcast_publish(entry))
+        merged: List[Notification] = []
+        positions = [0] * len(per_shard)
+        documents_by_id = self._documents
+        for document in docs:
+            doc_id = document.doc_id
+            for index, stream in enumerate(per_shard):
+                position = positions[index]
+                while (
+                    position < len(stream) and stream[position][1] == doc_id
+                ):
+                    query_id, _, replaced_id = stream[position]
+                    merged.append(
+                        Notification(
+                            query_id,
+                            document,
+                            documents_by_id[replaced_id]
+                            if replaced_id is not None
+                            else None,
+                        )
+                    )
+                    position += 1
+                positions[index] = position
+        return merged
+
+    async def _broadcast_publish(self, entry: List[Any]) -> List[List]:
+        results = await asyncio.gather(
+            *[self._apply(shard, entry) for shard in self._shards]
+        )
+        # A lost-reply edge (degraded shard, see module docstring) can
+        # surface as None: state is applied, triples are unavailable.
+        return [result if result is not None else [] for result in results]
+
+    def results(self, query_id: int) -> List[Document]:
+        self._check_open()
+        return self._call(self._results_async(query_id))
+
+    async def _results_async(self, query_id: int) -> List[Document]:
+        shard = self._shards[self.shard_of(query_id)]
+        async with shard.lock:
+            last_error: Optional[Exception] = None
+            for _attempt in range(self.MAX_ATTEMPTS):
+                try:
+                    await self._replay(shard, notify=False)
+                    reply = await shard.primary.request(
+                        {"op": "results", "query_id": query_id}
+                    )
+                except (ConnectionError, OSError) as exc:
+                    last_error = exc
+                    if shard.standby is not None:
+                        self._promote(shard)
+                    continue
+                return [
+                    self._documents[int(p["doc_id"])]
+                    for p in reply["results"]
+                ]
+            raise NodeDownError(
+                f"shard {shard.index}: primary unreachable and no "
+                f"standby left to promote"
+            ) from last_error
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def counters(self) -> Counters:
+        """Aggregated engine counters across shard primaries."""
+        self._check_open()
+        total = Counters()
+        for node_stats in self._call(self._gather_node_stats()):
+            shard_counters = Counters()
+            shard_counters.load(node_stats["counters"])
+            total = total + shard_counters
+        # docs_published is per-shard (broadcast); report logical docs.
+        total.docs_published //= self.n_shards
+        return total
+
+    def telemetry_snapshot(self) -> Optional[Dict]:
+        """Coordinator-side merge of per-node telemetry (PR 5 algebra)."""
+        self._check_open()
+        snapshots = [
+            node_stats["telemetry"]
+            for node_stats in self._call(self._gather_node_stats())
+        ]
+        snapshots = [s for s in snapshots if s is not None]
+        if not snapshots:
+            return None
+        return merge_snapshots(snapshots)
+
+    async def _gather_node_stats(self) -> List[Dict]:
+        async def one(shard: ShardState) -> Dict:
+            async with shard.lock:
+                reply = await shard.primary.cluster_stats()
+                return reply["node"]
+
+        return list(
+            await asyncio.gather(*[one(shard) for shard in self._shards])
+        )
+
+    # -- persistence --------------------------------------------------------
+
+    def checkpoint(self) -> Dict:
+        """Fan out checkpoints to every primary; combine as a sharded
+        dict, byte-compatible with :func:`~repro.persistence.checkpoint.
+        checkpoint_sharded` — a cluster can be restored in-process, in
+        worker processes, or on fresh nodes (:meth:`from_checkpoint`)."""
+        self._check_open()
+        payloads = self._call(self._gather_checkpoints())
+        return {
+            "version": CHECKPOINT_VERSION,
+            "sharded": True,
+            "routing": self.routing,
+            "assignment": {
+                str(query_id): shard
+                for query_id, shard in sorted(self._assignment.items())
+            },
+            "next_round_robin": self._next_round_robin,
+            "shards": payloads,
+        }
+
+    async def _gather_checkpoints(self) -> List[Dict]:
+        async def one(shard: ShardState) -> Dict:
+            async with shard.lock:
+                # Checkpoint the *journal-consistent* state: flush the
+                # primary first so the payload reflects every accepted op.
+                await self._replay(shard, notify=False)
+                reply = await shard.primary.cluster_stats(checkpoint=True)
+                return reply["checkpoint"]
+
+        return list(
+            await asyncio.gather(*[one(shard) for shard in self._shards])
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        payload: Dict,
+        nodes: Sequence[Address],
+        standbys: Optional[Sequence[Optional[Address]]] = None,
+        **kwargs: Any,
+    ) -> "ClusterEngine":
+        """Seat a sharded checkpoint onto fresh nodes via ``handoff``.
+
+        Accepts payloads from :meth:`checkpoint`,
+        :func:`~repro.persistence.checkpoint.checkpoint_sharded` and
+        :meth:`~repro.parallel.ParallelShardedEngine.checkpoint` — any
+        deployment's file brings up any other deployment.
+        """
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        if not payload.get("sharded"):
+            raise ValueError(
+                "expected a sharded checkpoint (single-engine payloads "
+                "serve through one node directly)"
+            )
+        shard_payloads = payload["shards"]
+        if len(shard_payloads) != len(nodes):
+            raise ConfigurationError(
+                f"checkpoint has {len(shard_payloads)} shards but "
+                f"{len(nodes)} nodes were given"
+            )
+        engine = cls(
+            nodes,
+            standbys=standbys,
+            routing=payload["routing"],
+            **kwargs,
+        )
+        engine._assignment = {
+            int(query_id): int(shard)
+            for query_id, shard in payload["assignment"].items()
+        }
+        engine._next_round_robin = int(payload["next_round_robin"])
+        engine._last_query_id = (
+            max(engine._assignment) if engine._assignment else None
+        )
+        for shard_payload in shard_payloads:
+            engine._now = max(engine._now, float(shard_payload["now"]))
+            for record in shard_payload["documents"]:
+                doc_id = int(record["id"])
+                if doc_id not in engine._documents:
+                    engine._documents[doc_id] = Document(
+                        doc_id,
+                        TermVector(
+                            {t: int(c) for t, c in record["tf"].items()}
+                        ),
+                        float(record["t"]),
+                        record.get("text"),
+                    )
+        if engine._documents:
+            engine._last_doc_id = max(engine._documents)
+        engine._call(engine._handoff_all(shard_payloads))
+        return engine
+
+    async def _handoff_all(self, shard_payloads: List[Dict]) -> None:
+        for shard, shard_payload in zip(self._shards, shard_payloads):
+            async with shard.lock:
+                await shard.primary.handoff(
+                    shard_payload, shard.journal.end
+                )
+                shard.primary.applied = shard.journal.end
+                if shard.standby is not None:
+                    await shard.standby.handoff(
+                        shard_payload, shard.journal.end
+                    )
+                    shard.standby.applied = shard.journal.end
+
+    # -- membership ---------------------------------------------------------
+
+    def start_membership(
+        self, interval: float = 0.25, miss_threshold: int = 3
+    ) -> "Any":
+        """Start the heartbeat loop (proactive failure detection)."""
+        from repro.cluster.membership import MembershipMonitor
+
+        self._check_open()
+        if self.membership is not None:
+            return self.membership
+        monitor = MembershipMonitor(
+            self, interval=interval, miss_threshold=miss_threshold
+        )
+        self.membership = monitor
+        self._call(monitor.start())
+        return monitor
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._call(self._close_async())
+        except Exception:
+            pass
+        self._stop_loop()
+        for shard in self._shards:
+            shard.journal.close()
+
+    async def _close_async(self) -> None:
+        if self.membership is not None:
+            await self.membership.stop()
+        for shard in self._shards:
+            await shard.primary.close()
+            if shard.standby is not None:
+                await shard.standby.close()
+
+    def __enter__(self) -> "ClusterEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,161 @@
+"""Spawn node processes and wire a coordinator over them.
+
+:class:`NodeProcess` launches ``python -m repro.experiments.cli node``
+as a real OS process (the chaos suite SIGKILLs these — a worker thread
+would not die convincingly), parses the ``node listening on HOST:PORT``
+ready line for the ephemeral port, and exposes ``kill``/``stop``.
+
+:func:`launch_cluster` is the one-call bring-up used by the ``repro
+cluster`` command, the benches and the tests: N primaries, optionally
+one standby each, and a connected :class:`~repro.cluster.coordinator.
+ClusterEngine` in front.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+import repro
+from repro.cluster.coordinator import ClusterEngine
+from repro.errors import NodeDownError
+
+Address = Tuple[str, int]
+
+
+def _node_env() -> dict:
+    """Child env with ``src`` on PYTHONPATH regardless of install mode."""
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src if not existing else src + os.pathsep + existing
+    )
+    return env
+
+
+class NodeProcess:
+    """One node subprocess plus its parsed listen address."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        method: str = "GIFilter",
+        k: int = 30,
+        extra_args: Sequence[str] = (),
+    ) -> None:
+        self._cmd = [
+            sys.executable,
+            "-m",
+            "repro.experiments.cli",
+            "node",
+            "--host",
+            host,
+            "--port",
+            str(port),
+            "--method",
+            method,
+            "--k",
+            str(k),
+            *extra_args,
+        ]
+        self.process: Optional[subprocess.Popen] = None
+        self.address: Optional[Address] = None
+
+    def start(self) -> Address:
+        """Spawn the node and block until it prints its ready line."""
+        self.process = subprocess.Popen(
+            self._cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=_node_env(),
+            text=True,
+        )
+        while True:
+            line = self.process.stdout.readline()
+            if not line:
+                self.process.wait()
+                raise NodeDownError(
+                    f"node exited (rc={self.process.returncode}) before "
+                    f"reporting its address"
+                )
+            line = line.strip()
+            if line.startswith("node listening on "):
+                host, _, port = line[len("node listening on "):].rpartition(
+                    ":"
+                )
+                self.address = (host, int(port))
+                return self.address
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — the crash the failover machinery must survive."""
+        if self.alive:
+            self.process.send_signal(signal.SIGKILL)
+        self.process.wait()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self.process is None:
+            return
+        if self.alive:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+
+def launch_cluster(
+    n_nodes: int,
+    replicas: int = 0,
+    method: str = "GIFilter",
+    k: int = 30,
+    routing: str = "round_robin",
+    replica_lag: int = 8,
+    journal_dir: Optional[str] = None,
+) -> Tuple[ClusterEngine, List[NodeProcess], List[Optional[NodeProcess]]]:
+    """Bring up primaries (+ optional standbys) and a coordinator.
+
+    ``replicas`` is 0 (no standbys) or 1 (one standby per shard).  The
+    caller owns all three returns: close the engine first, then stop the
+    processes.
+    """
+    if replicas not in (0, 1):
+        raise ValueError(f"replicas must be 0 or 1, got {replicas}")
+    primaries: List[NodeProcess] = []
+    standbys: List[Optional[NodeProcess]] = []
+    try:
+        for _ in range(n_nodes):
+            node = NodeProcess(method=method, k=k)
+            node.start()
+            primaries.append(node)
+            if replicas:
+                standby = NodeProcess(method=method, k=k)
+                standby.start()
+                standbys.append(standby)
+            else:
+                standbys.append(None)
+        engine = ClusterEngine(
+            [node.address for node in primaries],
+            standbys=(
+                [node.address for node in standbys] if replicas else None
+            ),
+            routing=routing,
+            replica_lag=replica_lag,
+            journal_dir=journal_dir,
+        )
+    except BaseException:
+        for node in primaries + [s for s in standbys if s is not None]:
+            node.stop()
+        raise
+    return engine, primaries, standbys

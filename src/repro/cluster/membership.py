@@ -1,0 +1,121 @@
+"""Heartbeat membership: proactive failure detection for the cluster.
+
+The coordinator already fails over *reactively* — a dead primary is
+detected by the next op that touches its shard.  The
+:class:`MembershipMonitor` adds a heartbeat loop so an idle shard's
+death is noticed too: every ``interval`` seconds each shard's primary
+and standby answer a ``cluster_stats`` probe; ``miss_threshold``
+consecutive misses mark the node dead, which promotes the standby
+(primary death) or degrades the shard (standby death).
+
+Failover is serialised with in-flight ops through the per-shard
+``asyncio.Lock``: whichever side detects the death first promotes, the
+other finds the promotion already done.  The monitor runs on the
+cluster's private event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+
+class MembershipMonitor:
+    """Probe loop over every shard's primary and standby."""
+
+    def __init__(
+        self,
+        cluster,
+        interval: float = 0.25,
+        miss_threshold: int = 3,
+        probe_timeout: Optional[float] = None,
+    ) -> None:
+        self._cluster = cluster
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        self.probe_timeout = (
+            probe_timeout if probe_timeout is not None else interval * 2
+        )
+        #: (shard index, role) -> consecutive missed probes.
+        self.misses: Dict[Any, int] = {}
+        self.probes = 0
+        self.failovers_triggered = 0
+        self.degrades_triggered = 0
+        self._task: Optional[asyncio.Task] = None
+        self._stopped = False
+
+    async def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.create_task(self._run())
+
+    async def stop(self) -> None:
+        self._stopped = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "miss_threshold": self.miss_threshold,
+            "probes": self.probes,
+            "failovers_triggered": self.failovers_triggered,
+            "degrades_triggered": self.degrades_triggered,
+            "misses": {
+                f"{shard}:{role}": count
+                for (shard, role), count in sorted(self.misses.items())
+            },
+        }
+
+    async def _run(self) -> None:
+        while not self._stopped:
+            await asyncio.sleep(self.interval)
+            for shard in self._cluster._shards:
+                await self._probe(shard, "primary")
+                await self._probe(shard, "standby")
+
+    async def _probe(self, shard, role: str) -> None:
+        node = shard.primary if role == "primary" else shard.standby
+        if node is None:
+            return
+        self.probes += 1
+        key = (shard.index, role)
+        try:
+            await asyncio.wait_for(
+                node.cluster_stats(), self.probe_timeout
+            )
+        except Exception:
+            misses = self.misses.get(key, 0) + 1
+            self.misses[key] = misses
+            if misses < self.miss_threshold:
+                return
+            self.misses[key] = 0
+            await self._declare_dead(shard, role, node)
+        else:
+            self.misses[key] = 0
+
+    async def _declare_dead(self, shard, role: str, node) -> None:
+        """Act on a confirmed death, serialised with in-flight ops."""
+        async with shard.lock:
+            if role == "primary":
+                if shard.primary is not node:
+                    return  # an op already failed the shard over
+                if shard.standby is None:
+                    return  # nothing to promote; ops will raise NodeDown
+                self._cluster._promote(shard)
+                self.failovers_triggered += 1
+                try:
+                    # Catch the fresh primary up so the *next* op starts
+                    # from a clean applied offset.
+                    await self._cluster._replay(shard, notify=False)
+                except (ConnectionError, OSError):
+                    pass
+            else:
+                if shard.standby is not node:
+                    return
+                self._cluster._degrade(shard)
+                self.degrades_triggered += 1

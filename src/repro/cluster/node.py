@@ -1,0 +1,65 @@
+"""One cluster node: a full serving stack plus the replication ops.
+
+A node is nothing cluster-specific — it is the standard
+:class:`~repro.server.runtime.ServerRuntime` behind
+:class:`~repro.server.tcp.NdjsonTcpServer`; the coordinator drives it
+through the ``replicate``/``handoff``/``cluster_stats`` protocol ops
+the runtime already implements.  Keeping the node generic means any
+running ``repro serve`` instance can be adopted as a cluster node.
+
+``run_node`` is the blocking entry point used by ``repro node`` and by
+:class:`~repro.cluster.launcher.NodeProcess`; it prints exactly one
+``node listening on HOST:PORT`` line once the socket is bound, which
+the launcher parses for ephemeral ports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.config import EngineConfig, ServerConfig
+from repro.core.engine import DasEngine
+from repro.server.runtime import ServerRuntime
+from repro.server.tcp import NdjsonTcpServer
+
+
+async def serve_node(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: Optional[EngineConfig] = None,
+    server_config: Optional[ServerConfig] = None,
+) -> None:
+    """Run one node until cancelled."""
+    engine = DasEngine(config if config is not None else EngineConfig())
+    if server_config is None:
+        # Nodes are driven by one coordinator connection; the inline
+        # matcher removes the executor handoff from the replicate path.
+        server_config = ServerConfig(host=host, port=port)
+    runtime = ServerRuntime(engine, server_config)
+    await runtime.start()
+    server = NdjsonTcpServer(runtime, host, port)
+    bound_host, bound_port = await server.start()
+    print(f"node listening on {bound_host}:{bound_port}", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+        await runtime.stop()
+
+
+def run_node(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    method: str = "GIFilter",
+    k: int = 30,
+) -> int:
+    """Blocking node entry point (the ``repro node`` command)."""
+    engine_config = DasEngine.for_method(method, k=k).config
+    try:
+        asyncio.run(serve_node(host, port, config=engine_config))
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,21 +1,39 @@
-"""Checkpoint/restore of engine state."""
+"""Checkpoint/restore of engine state and the op-journal stream."""
 
 from repro.persistence.checkpoint import (
     CHECKPOINT_VERSION,
     checkpoint,
     checkpoint_sharded,
+    engine_checkpoint,
     load,
     restore,
+    restore_payload,
     restore_sharded,
     save,
+)
+from repro.persistence.journal import (
+    ENTRY_KINDS,
+    OpJournal,
+    publish_entry,
+    subscribe_entry,
+    unsubscribe_entry,
+    validate_entry,
 )
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "ENTRY_KINDS",
+    "OpJournal",
     "checkpoint",
     "checkpoint_sharded",
+    "engine_checkpoint",
     "load",
+    "publish_entry",
     "restore",
+    "restore_payload",
     "restore_sharded",
     "save",
+    "subscribe_entry",
+    "unsubscribe_entry",
+    "validate_entry",
 ]

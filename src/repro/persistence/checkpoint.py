@@ -248,6 +248,32 @@ def restore_sharded(payload: Dict) -> ShardedDasEngine:
     return engine
 
 
+def engine_checkpoint(engine: object) -> Dict:
+    """Checkpoint any engine shape to its JSON-safe payload.
+
+    Dispatches on shape: sharded engines produce the
+    ``checkpoint_sharded`` schema, engines with their own ``checkpoint``
+    hook (ParallelShardedEngine, duck-typed to avoid importing the
+    multiprocessing stack here; the cluster coordinator) fan the call
+    out themselves and return the same schema, and a plain
+    :class:`DasEngine` produces the single-engine payload.  The cluster
+    tier's ``cluster_stats`` checkpoint fetch and :func:`save` share
+    this dispatch so every deployment writes interchangeable files.
+    """
+    if isinstance(engine, ShardedDasEngine):
+        return checkpoint_sharded(engine)
+    if not isinstance(engine, DasEngine) and hasattr(engine, "checkpoint"):
+        return engine.checkpoint()
+    return checkpoint(engine)
+
+
+def restore_payload(payload: Dict) -> Union[DasEngine, ShardedDasEngine]:
+    """Restore an in-process engine from any checkpoint payload shape."""
+    if payload.get("sharded"):
+        return restore_sharded(payload)
+    return restore(payload)
+
+
 def save(
     engine: Union[DasEngine, ShardedDasEngine],
     path: str,
@@ -261,17 +287,7 @@ def save(
     previous checkpoint at ``path`` intact.  A ``torn`` fault leaves a
     truncated temp file behind — never a truncated checkpoint.
     """
-    if isinstance(engine, ShardedDasEngine):
-        payload = checkpoint_sharded(engine)
-    elif not isinstance(engine, DasEngine) and hasattr(engine, "checkpoint"):
-        # ParallelShardedEngine (duck-typed to avoid importing the
-        # multiprocessing stack here): fans the checkpoint out to its
-        # workers and combines the shard payloads into the exact
-        # ``checkpoint_sharded`` schema, so the file is indistinguishable
-        # from an in-process sharded engine's.
-        payload = engine.checkpoint()
-    else:
-        payload = checkpoint(engine)
+    payload = engine_checkpoint(engine)
     data = json.dumps(payload)
     tmp_path = path + ".tmp"
     with open(tmp_path, "w") as handle:

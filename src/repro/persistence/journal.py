@@ -1,0 +1,190 @@
+"""Op journal with offsets: the replication stream of the cluster tier.
+
+PR 4's parallel engine kept a per-shard list of accepted ops and
+replayed it after a worker crash.  This module generalises that list
+into a first-class append-only journal with *offsets*, so the same
+entries can also be **streamed**: a coordinator appends every accepted
+op, tracks per-consumer applied offsets, ships suffixes to standby
+replicas with ``entries_since``, and truncates once every consumer has
+moved past an offset (see DESIGN.md §13).
+
+Entries are JSON-safe lists so they cross the NDJSON wire unchanged::
+
+    ["subscribe", query_id, [term, ...]]
+    ["unsubscribe", query_id]
+    ["publish", [document_payload, ...]]
+
+``publish`` entries carry full wire documents (explicit ``doc_id`` and
+``created_at`` from :func:`repro.server.protocol.document_payload`), so
+replaying an entry on any replica reproduces the primary's decisions
+byte-for-byte — same ids, same timestamps, same term order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Entry kinds understood by :func:`validate_entry` and the node-side
+#: ``replicate`` op.
+ENTRY_KINDS = ("subscribe", "unsubscribe", "publish")
+
+
+def subscribe_entry(query_id: int, terms: Sequence[str]) -> List[Any]:
+    return ["subscribe", int(query_id), [str(term) for term in terms]]
+
+
+def unsubscribe_entry(query_id: int) -> List[Any]:
+    return ["unsubscribe", int(query_id)]
+
+
+def publish_entry(documents: Sequence[Dict[str, Any]]) -> List[Any]:
+    """A publish entry from already-encoded document payloads."""
+    return ["publish", list(documents)]
+
+
+def validate_entry(entry: Any) -> Tuple:
+    """Check one journal entry's shape; returns ``(kind, payload...)``.
+
+    Raises :class:`ReproError` on malformed entries — the node-side
+    ``replicate`` op turns that into a structured error reply instead of
+    applying half an entry.
+    """
+    if not isinstance(entry, (list, tuple)) or not entry:
+        raise ReproError(f"journal entry must be a non-empty list, got {entry!r}")
+    kind = entry[0]
+    if kind not in ENTRY_KINDS:
+        raise ReproError(
+            f"unknown journal entry kind {kind!r}; expected one of {ENTRY_KINDS}"
+        )
+    if kind == "subscribe":
+        if (
+            len(entry) != 3
+            or not isinstance(entry[1], int)
+            or not isinstance(entry[2], (list, tuple))
+        ):
+            raise ReproError(
+                "subscribe entry must be ['subscribe', query_id, [terms]]"
+            )
+        return ("subscribe", entry[1], list(entry[2]))
+    if kind == "unsubscribe":
+        if len(entry) != 2 or not isinstance(entry[1], int):
+            raise ReproError(
+                "unsubscribe entry must be ['unsubscribe', query_id]"
+            )
+        return ("unsubscribe", entry[1])
+    if len(entry) != 2 or not isinstance(entry[1], (list, tuple)):
+        raise ReproError("publish entry must be ['publish', [documents]]")
+    for payload in entry[1]:
+        if not isinstance(payload, dict) or "doc_id" not in payload:
+            raise ReproError(
+                "publish entry documents must be document payloads "
+                "with a 'doc_id'"
+            )
+    return ("publish", list(entry[1]))
+
+
+class OpJournal:
+    """Append-only op log addressed by monotonically increasing offsets.
+
+    Offsets are *global* positions in the stream, not list indices:
+    entry ``i`` keeps offset ``i`` forever, even after older entries are
+    dropped by :meth:`truncate_to`.  ``base`` is the offset of the first
+    retained entry and ``end`` the offset one past the last.
+
+    With ``path`` set, every appended entry is also written as one JSON
+    line (write-ahead; flushed per append), and :meth:`load` rebuilds a
+    journal from such a file.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self._base = 0
+        self._entries: List[Any] = []
+        self._path = path
+        self._file = open(path, "a") if path is not None else None
+
+    @property
+    def base(self) -> int:
+        return self._base
+
+    @property
+    def end(self) -> int:
+        return self._base + len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, entry: Any) -> int:
+        """Append one entry; returns its offset."""
+        offset = self.end
+        self._entries.append(entry)
+        if self._file is not None:
+            self._file.write(
+                json.dumps({"offset": offset, "entry": entry}) + "\n"
+            )
+            self._file.flush()
+        return offset
+
+    def entries_since(self, offset: int) -> List[Any]:
+        """All retained entries at offsets ``>= offset``, in order.
+
+        Raises :class:`ReproError` when ``offset`` precedes ``base`` —
+        the caller asked for history that was already truncated and must
+        fall back to a checkpoint handoff.
+        """
+        if offset >= self.end:
+            return []
+        if offset < self._base:
+            raise ReproError(
+                f"journal offset {offset} precedes base {self._base}; "
+                "a checkpoint handoff is required"
+            )
+        return list(self._entries[offset - self._base :])
+
+    def truncate_to(self, offset: int) -> int:
+        """Drop entries below ``offset``; returns how many were dropped.
+
+        ``offset`` is clamped to ``[base, end]`` — truncating to an
+        offset nobody has reached yet would lose unreplicated entries.
+        """
+        offset = max(self._base, min(offset, self.end))
+        dropped = offset - self._base
+        if dropped:
+            del self._entries[:dropped]
+            self._base = offset
+        return dropped
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @classmethod
+    def load(cls, path: str) -> "OpJournal":
+        """Rebuild a journal from its JSONL file (crash recovery)."""
+        journal = cls()
+        if not os.path.exists(path):
+            return journal
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                offset = int(record["offset"])
+                if offset < journal.end:
+                    continue  # duplicate flush; idempotent
+                if offset > journal.end and not len(journal._entries):
+                    journal._base = offset
+                journal._entries.append(record["entry"])
+        journal._path = path
+        # Reattach the write-ahead file so post-recovery appends keep
+        # journaling to the same path.
+        journal._file = open(path, "a")
+        return journal
+
+    def __iter__(self) -> Iterable[Any]:
+        return iter(self._entries)

@@ -48,14 +48,18 @@ from repro.core.query import DasQuery
 from repro.distributed.sharded import ShardedDasEngine
 from repro.errors import (
     ConfigurationError,
+    ReplicationError,
     ReproError,
     ServerClosedError,
     UnknownQueryError,
 )
 from repro.metrics.instrumentation import Counters
+from repro.persistence.checkpoint import engine_checkpoint, restore_payload
+from repro.persistence.journal import validate_entry
 from repro.pubsub.service import PublishSubscribeService
 from repro.server.batching import AdaptiveBatcher
 from repro.server.protocol import (
+    document_from_payload,
     document_payload,
     error_reply,
     notification_payload,
@@ -167,6 +171,28 @@ class EngineFacade:
         self._next_query_id = query_id + 1
         return query_id, initial
 
+    def subscribe_as(self, query_id: int, keywords: Iterable[str]) -> List[Document]:
+        """Subscribe under an externally assigned id (journal replay).
+
+        The cluster tier assigns query ids coordinator-side so every
+        replica registers the same query under the same id; the local
+        auto-id floor is bumped past it so direct subscribes on the
+        same node never collide.
+        """
+        if self._is_service:
+            raise ReproError(
+                "replicate is not supported for PublishSubscribeService engines"
+            )
+        initial = self._engine.subscribe(DasQuery(int(query_id), keywords))
+        self._next_query_id = max(self._next_query_id, int(query_id) + 1)
+        return initial
+
+    def replace_engine(self, engine: object) -> None:
+        """Swap in a restored engine (checkpoint handoff)."""
+        self._engine = engine
+        self._is_service = isinstance(engine, PublishSubscribeService)
+        self._next_query_id = self._query_floor()
+
     def unsubscribe(self, query_id: int) -> None:
         self._engine.unsubscribe(query_id)
 
@@ -238,6 +264,11 @@ class ServerRuntime:
         self._delivery_errors = 0
         self._failed_on_stop = 0
         self._unflushed = 0
+        #: Cluster-tier replica bookkeeping: offset of the next journal
+        #: entry this node expects via ``replicate`` (DESIGN.md §13).
+        self._replica_offset = 0
+        self._replicated_entries = 0
+        self._handoffs = 0
         self._retired_drops = {policy: 0 for policy in SLOW_CONSUMER_POLICIES}
         self._retired_coalesced = 0
         #: Serving-pipeline stage histograms (engine stages live in the
@@ -499,6 +530,7 @@ class ServerRuntime:
             "unflushed": self._unflushed,
             "counters": counters,
             "workers": self._worker_stats(),
+            "cluster": self._cluster_stats(),
             "telemetry": self._telemetry_section(counters),
         }
 
@@ -506,6 +538,27 @@ class ServerRuntime:
         """Worker liveness/recovery section, None for in-process engines."""
         worker_stats = getattr(self._facade.engine, "worker_stats", None)
         return worker_stats() if worker_stats is not None else None
+
+    def _cluster_stats(self) -> Optional[Dict[str, Any]]:
+        """Coordinator shard/membership section, None off-cluster."""
+        cluster_stats = getattr(self._facade.engine, "cluster_stats", None)
+        return cluster_stats() if cluster_stats is not None else None
+
+    def node_stats(self) -> Dict[str, Any]:
+        """The ``cluster_stats`` op payload of a *node*: replica offset,
+        replication accounting and the engine state a coordinator's
+        heartbeat/membership loop watches."""
+        return {
+            "applied_offset": self._replica_offset,
+            "replicated_entries": self._replicated_entries,
+            "handoffs": self._handoffs,
+            "accepted": self._accepted,
+            "published": self._published,
+            "queries": getattr(self._facade.engine, "query_count", None),
+            "next_doc_id": self._next_doc_id,
+            "counters": self._facade.counters().as_dict(),
+            "telemetry": self._facade.telemetry_snapshot(),
+        }
 
     def _telemetry_section(self, counters: Dict[str, int]) -> Dict[str, Any]:
         """One unified telemetry view: engine stages (merged across
@@ -583,6 +636,30 @@ class ServerRuntime:
                 )
             if op == "metrics":
                 return ok_reply(reply_to, metrics=self.metrics_text())
+            if op == "replicate":
+                result = await self._submit_control(
+                    "replicate",
+                    None,
+                    (
+                        request["offset"],
+                        request["entries"],
+                        bool(request.get("notify")),
+                    ),
+                )
+                return ok_reply(reply_to, **result)
+            if op == "handoff":
+                result = await self._submit_control(
+                    "handoff", None, (request["checkpoint"], request["offset"])
+                )
+                return ok_reply(reply_to, **result)
+            if op == "cluster_stats":
+                if request.get("checkpoint"):
+                    result = await self._submit_control("checkpoint", None, None)
+                    return ok_reply(reply_to, **result)
+                # The heartbeat path skips the batch barrier on purpose:
+                # a membership probe must answer even when the matcher is
+                # deep in a publish backlog.
+                return ok_reply(reply_to, node=self.node_stats())
             return ok_reply(reply_to, stats=self.stats())
         except ReproError as exc:
             return error_reply(exc, reply_to)
@@ -672,6 +749,23 @@ class ServerRuntime:
             elif item.kind == "retire":
                 await self._retire_queries(item.session)
                 result = None
+            elif item.kind == "replicate":
+                offset, entries, notify = item.args
+                result = await self._call_engine(
+                    self._apply_entries, offset, entries, notify
+                )
+            elif item.kind == "handoff":
+                payload, offset = item.args
+                result = await self._call_engine(
+                    self._install_checkpoint, payload, offset
+                )
+            elif item.kind == "checkpoint":
+                # Stats + checkpoint through one barrier so the payload
+                # and the reported offset describe the same state.
+                checkpoint = await self._call_engine(
+                    engine_checkpoint, self._facade.engine
+                )
+                result = {"node": self.node_stats(), "checkpoint": checkpoint}
             else:  # pragma: no cover - internal invariant
                 raise ReproError(f"unknown control kind {item.kind!r}")
         except Exception as exc:
@@ -813,3 +907,92 @@ class ServerRuntime:
                     pass
                 self._owners.pop(query_id, None)
         session.queries.clear()
+
+    # -- cluster node ops (DESIGN.md §13) ----------------------------------
+
+    def _apply_entries(
+        self, offset: int, entries: Sequence[Any], notify: bool
+    ) -> Dict[str, Any]:
+        """Apply a contiguous journal suffix to the local engine.
+
+        The suffix must start exactly at this node's applied offset —
+        a gap means the coordinator skipped entries this replica never
+        saw, and applying the rest would silently fork its state, so
+        the whole batch is rejected with :class:`ReplicationError`
+        before any entry is touched.
+
+        ``results`` aligns with ``entries``: a subscribe entry yields
+        its initial result's doc ids, a publish entry yields
+        ``[query_id, doc_id, replaced_id|None]`` notification triples
+        when ``notify`` (primaries) and ``None`` when not (standbys,
+        which skip the encode cost), an unsubscribe yields ``None``.
+        """
+        if offset != self._replica_offset:
+            raise ReplicationError(
+                f"replicate offset {offset} != applied offset "
+                f"{self._replica_offset}"
+            )
+        results: List[Any] = []
+        for entry in entries:
+            parsed = validate_entry(entry)
+            kind = parsed[0]
+            if kind == "subscribe":
+                _, query_id, terms = parsed
+                initial = self._facade.subscribe_as(query_id, terms)
+                results.append([doc.doc_id for doc in initial])
+            elif kind == "unsubscribe":
+                self._facade.unsubscribe(parsed[1])
+                results.append(None)
+            else:
+                documents = [document_from_payload(p) for p in parsed[1]]
+                notifications = self._facade.publish_batch(documents)
+                self._accepted += len(documents)
+                self._published += len(documents)
+                for document in documents:
+                    self._next_doc_id = max(
+                        self._next_doc_id, document.doc_id + 1
+                    )
+                    self._last_created_at = max(
+                        self._last_created_at, document.created_at
+                    )
+                results.append(
+                    [
+                        [
+                            n.query_id,
+                            n.document.doc_id,
+                            (
+                                n.replaced.doc_id
+                                if n.replaced is not None
+                                else None
+                            ),
+                        ]
+                        for n in notifications
+                    ]
+                    if notify
+                    else None
+                )
+            self._replica_offset += 1
+            self._replicated_entries += 1
+        return {"offset": self._replica_offset, "results": results}
+
+    def _install_checkpoint(self, payload: Dict, offset: int) -> Dict[str, Any]:
+        """Install a checkpoint wholesale (the ``handoff`` op).
+
+        Used to seed a fresh replica whose journal history was already
+        truncated, and to promote this node onto another shard's state.
+        Replaces the engine, realigns the id floors, and adopts the
+        coordinator's offset as the applied offset; any queries owned by
+        direct client sessions are dropped (post-handoff the node's
+        subscriptions belong to the replication stream).
+        """
+        engine = restore_payload(payload)
+        self._facade.replace_engine(engine)
+        self._facade.ensure_telemetry()
+        self._next_doc_id = self._facade.doc_id_floor()
+        self._last_created_at = self._facade.clock_now()
+        self._replica_offset = int(offset)
+        self._handoffs += 1
+        self._owners.clear()
+        for session in self._sessions.values():
+            session.queries.clear()
+        return {"offset": self._replica_offset, "handoffs": self._handoffs}

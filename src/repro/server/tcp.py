@@ -17,6 +17,7 @@ reference client used by the tests, the README quickstart and the
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import InjectedFaultError, ProtocolError
@@ -115,7 +116,12 @@ class NdjsonTcpServer:
             async with write_lock:
                 writer.write(data)
                 await writer.drain()
-        except ConnectionError:
+        except (ConnectionError, OSError, RuntimeError):
+            # A peer that vanished mid-frame surfaces as ConnectionError,
+            # a raw socket failure as OSError, and a write on an
+            # already-closing transport as RuntimeError — all of them
+            # mean "this connection is done", none may escape into the
+            # caller's loop.
             return False
         return True
 
@@ -147,6 +153,7 @@ class NdjsonTcpServer:
                     asyncio.LimitOverrunError,
                     ValueError,
                     ConnectionError,
+                    OSError,
                 ):
                     break
                 except asyncio.CancelledError:
@@ -162,9 +169,16 @@ class NdjsonTcpServer:
                 except ProtocolError as exc:
                     reply = error_reply(exc)
                 else:
-                    reply = await self._runtime.handle_request(
-                        session, payload
-                    )
+                    try:
+                        reply = await self._runtime.handle_request(
+                            session, payload
+                        )
+                    except Exception as exc:
+                        # handle_request converts ReproError itself; an
+                        # unexpected exception must still produce an
+                        # error frame instead of killing the connection
+                        # (and leaking the session) silently.
+                        reply = error_reply(exc)
                 if not await self._write_frame(writer, write_lock, reply):
                     break
         finally:
@@ -186,13 +200,26 @@ class NdjsonTcpServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
     ) -> None:
-        """Forward session pushes to the socket until the session ends."""
-        while True:
-            message = await session.next_message()
-            if message is None:
-                break
-            if not await self._write_frame(writer, write_lock, message):
-                break
+        """Forward session pushes to the socket until the session ends.
+
+        On exit the transport is closed: when a push write fails on a
+        half-closed socket, the reader side of the connection may still
+        be blocked in ``readline`` on a peer that will never send again.
+        Closing the transport forces that read to EOF, so the
+        connection handler retires the session — otherwise the session
+        leaks and, under the ``block`` policy, the matcher can wedge
+        forever on a delivery queue nobody drains.
+        """
+        try:
+            while True:
+                message = await session.next_message()
+                if message is None:
+                    break
+                if not await self._write_frame(writer, write_lock, message):
+                    break
+        finally:
+            with _suppress_all():
+                writer.close()
 
 
 class _suppress_all:
@@ -215,30 +242,84 @@ class NdjsonTcpClient:
         await client.publish(text="fresh espresso downtown")
         note = await client.next_message(timeout=5.0)  # {"op": "notify", ...}
         await client.close()
+
+    With ``reconnect=True`` a dropped connection is re-dialled with
+    bounded exponential backoff plus jitter; requests in flight when the
+    connection died fail with :class:`ConnectionError` (the caller
+    decides whether to retry — the cluster coordinator replays from its
+    journal instead), requests issued while disconnected wait for the
+    new connection.  Tracked subscriptions are re-issued after a
+    successful reconnect; because the server assigns fresh query ids,
+    the old->new mapping is exposed as ``resubscriptions`` and the
+    ``reconnects``/``resubscribed`` counters in
+    :meth:`connection_stats`.
     """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        reconnect: bool = False,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        max_retries: int = 6,
+        jitter_seed: int = 0,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self._reconnect = reconnect and host is not None
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._max_retries = max_retries
+        self._jitter = random.Random(jitter_seed)
+        self._closed = False
+        self._connected = asyncio.Event()
+        self._connected.set()
         self._next_request_id = 0
         self._pending: Dict[int, asyncio.Future] = {}
         self._messages: asyncio.Queue = asyncio.Queue()
+        #: query_id -> the subscribe payload that created it (re-issued
+        #: verbatim after a reconnect).
+        self._subscriptions: Dict[int, Dict[str, Any]] = {}
+        self._resub_task: Optional[asyncio.Task] = None
+        self.reconnects = 0
+        self.resubscribed = 0
+        self.resubscriptions: Dict[int, int] = {}
         self._reader_task = asyncio.create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "NdjsonTcpClient":
+    async def connect(
+        cls, host: str, port: int, **options: Any
+    ) -> "NdjsonTcpClient":
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_LINE_BYTES
         )
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port, **options)
+
+    async def _read_line(self) -> bytes:
+        """One line from the current reader; connection failures are EOF."""
+        try:
+            return await self._reader.readline()
+        except (
+            ConnectionError,
+            OSError,
+            ValueError,
+            asyncio.LimitOverrunError,
+            asyncio.IncompleteReadError,
+        ):
+            return b""
 
     async def _read_loop(self) -> None:
         try:
             while True:
-                line = await self._reader.readline()
+                line = await self._read_line()
                 if not line:
+                    if await self._handle_disconnect():
+                        continue
                     break
                 try:
                     payload = decode_line(line)
@@ -251,25 +332,121 @@ class NdjsonTcpClient:
                 else:
                     await self._messages.put(payload)
         finally:
+            self._connected.set()
             await self._messages.put(None)
-            for future in self._pending.values():
-                if not future.done():
-                    future.set_exception(
-                        ConnectionError("server closed the connection")
-                    )
-            self._pending.clear()
+            self._fail_pending(
+                ConnectionError("server closed the connection")
+            )
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending = list(self._pending.values())
+        self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _handle_disconnect(self) -> bool:
+        """Re-dial after a dropped connection; True resumes the read loop.
+
+        In-flight requests fail immediately (their replies are lost with
+        the old connection); new requests block on ``_connected`` until
+        the dial succeeds.  Backoff is ``base * 2**attempt`` capped at
+        ``backoff_max``, scaled by a deterministic jitter factor in
+        ``[0.5, 1.5)`` so a fleet of clients does not re-dial in
+        lockstep.
+        """
+        self._fail_pending(ConnectionError("connection lost"))
+        if self._closed or not self._reconnect:
+            return False
+        self._connected.clear()
+        for attempt in range(self._max_retries):
+            delay = min(self._backoff_max, self._backoff_base * (2 ** attempt))
+            await asyncio.sleep(delay * (0.5 + self._jitter.random()))
+            if self._closed:
+                break
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self._host, self._port, limit=MAX_LINE_BYTES
+                )
+            except OSError:
+                continue
+            with _suppress_all():
+                self._writer.close()
+            self._reader = reader
+            self._writer = writer
+            self.reconnects += 1
+            self._connected.set()
+            if self._subscriptions:
+                self._resub_task = asyncio.create_task(self._resubscribe())
+            return True
+        # Retries exhausted: give up for good.  Waking the waiters is
+        # mandatory — request() re-checks _closed after the wait.
+        self._closed = True
+        self._connected.set()
+        return False
+
+    async def _resubscribe(self) -> None:
+        """Re-issue tracked subscriptions on the fresh connection."""
+        for old_id, payload in list(self._subscriptions.items()):
+            try:
+                reply = await self.request(dict(payload))
+            except Exception:
+                # The connection dropped again (or the server refused);
+                # the next reconnect pass picks up where this one left.
+                return
+            new_id = reply["query_id"]
+            self._subscriptions.pop(old_id, None)
+            self._subscriptions[new_id] = payload
+            self.resubscriptions[old_id] = new_id
+            self.resubscribed += 1
 
     async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        request_id = self._next_request_id
-        self._next_request_id += 1
-        payload = dict(payload)
-        payload["id"] = request_id
-        future = asyncio.get_running_loop().create_future()
-        self._pending[request_id] = future
-        self._writer.write(encode_line(payload))
-        await self._writer.drain()
-        reply = await future
-        return raise_for_reply(reply)
+        while True:
+            if self._reconnect:
+                await self._connected.wait()
+            if self._closed:
+                raise ConnectionError("client is closed")
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            framed = dict(payload)
+            framed["id"] = request_id
+            future = asyncio.get_running_loop().create_future()
+            self._pending[request_id] = future
+            try:
+                self._writer.write(encode_line(framed))
+                await self._writer.drain()
+            except (ConnectionError, OSError, RuntimeError) as exc:
+                self._pending.pop(request_id, None)
+                if self._reconnect and not self._closed:
+                    # The transport died under us before the reader
+                    # noticed.  The line never completed, so resending
+                    # after the dial-out cannot double-apply.
+                    await asyncio.sleep(0.01)
+                    continue
+                raise ConnectionError(f"write failed: {exc}") from None
+            reply = await future
+            return raise_for_reply(reply)
+
+    def connection_stats(self) -> Dict[str, Any]:
+        """Reconnect/resubscribe accounting for stats surfaces."""
+        return {
+            "reconnects": self.reconnects,
+            "resubscribed": self.resubscribed,
+            "resubscriptions": dict(self.resubscriptions),
+            "connected": self._connected.is_set() and not self._closed,
+            "closed": self._closed,
+            "tracked_subscriptions": len(self._subscriptions),
+        }
+
+    def abort_connection(self) -> None:
+        """Drop the live transport without closing the client.
+
+        Chaos-harness hook: to a reconnecting client this is exactly a
+        network partition — the reader hits EOF, pending requests fail
+        with ``ConnectionError``, and the backoff dial-out takes over.
+        """
+        with _suppress_all():
+            self._writer.close()
 
     # -- ops --------------------------------------------------------------
 
@@ -283,12 +460,16 @@ class NdjsonTcpClient:
             payload["keywords"] = list(keywords)
         if text is not None:
             payload["text"] = text
-        return await self.request(payload)
+        reply = await self.request(dict(payload))
+        self._subscriptions[reply["query_id"]] = payload
+        return reply
 
     async def unsubscribe(self, query_id: int) -> Dict[str, Any]:
-        return await self.request(
+        reply = await self.request(
             {"op": "unsubscribe", "query_id": query_id}
         )
+        self._subscriptions.pop(query_id, None)
+        return reply
 
     async def publish(
         self,
@@ -332,6 +513,11 @@ class NdjsonTcpClient:
         return await asyncio.wait_for(self._messages.get(), timeout)
 
     async def close(self) -> None:
+        self._closed = True
+        if self._resub_task is not None:
+            self._resub_task.cancel()
+            with _suppress_all():
+                await self._resub_task
         self._reader_task.cancel()
         with _suppress_all():
             await self._reader_task

@@ -28,6 +28,7 @@ from repro.simulation.invariants import (
     InvariantMonitor,
     InvariantViolation,
 )
+from repro.simulation.cluster import run_cluster_crash_suite
 from repro.simulation.parallel import run_parallel_crash_suite
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "default_engine_config",
     "generate_random_plan",
     "generate_schedule",
+    "run_cluster_crash_suite",
     "run_default_suite",
     "run_parallel_crash_suite",
 ]

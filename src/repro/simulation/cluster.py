@@ -1,0 +1,262 @@
+"""Deterministic node-crash scenarios for the cluster tier.
+
+Drives a :class:`~repro.cluster.ClusterEngine` over real node
+subprocesses, an in-process
+:class:`~repro.distributed.sharded.ShardedDasEngine` with the same
+shard count and routing (the byte-identity oracle: its merged
+notification stream must match the cluster's *in order*), and an
+:class:`~repro.simulation.invariants.InstrumentedEngine`-wrapped
+single :class:`~repro.core.engine.DasEngine` audited by
+:class:`~repro.simulation.invariants.InvariantMonitor` (the paper's
+invariants stay clean on the same stream).  Three scenarios:
+
+``clean``
+    Replicated cluster, no faults — baseline three-way equivalence.
+``primary_kill``
+    The ``node.fault`` injection point fires ``kill(0)``: shard 0's
+    primary is ``SIGKILL``-ed mid-schedule.  The next op touching the
+    shard must promote the standby, replay the journal suffix, and
+    keep the notification stream byte-identical — zero accepted ops
+    lost.
+``partition``
+    No standbys; ``partition(0)`` severs the coordinator's TCP
+    connection to shard 0 while the node process stays alive.  The
+    reconnecting client must dial back and the schedule must complete
+    with at least one recorded reconnect.
+
+Every scenario takes a coordinator checkpoint partway (exercising the
+consistency barrier under faults).  The kill/partition op indices come
+from the :class:`~repro.simulation.faults.FaultPlan` DSL, so the
+report is a pure function of ``(seed, ops, nodes)``.
+
+Like the parallel suite, this is *not* part of
+:func:`~repro.simulation.harness.run_default_suite` — it spawns real
+processes.  The CLI exposes it via ``simulate --cluster-nodes N``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.cluster import launch_cluster
+from repro.core.engine import DasEngine
+from repro.core.query import DasQuery
+from repro.distributed.sharded import ShardedDasEngine
+from repro.simulation.faults import FaultPlan
+from repro.simulation.invariants import InstrumentedEngine, InvariantMonitor
+from repro.workloads.corpus import SyntheticTweetCorpus
+from repro.workloads.queries import lqd_queries
+
+#: Method/k the node subprocesses are launched with; the in-process
+#: oracles must build the *same* config or the differential is void.
+_METHOD = "GIFilter"
+_K = 4
+
+
+def _note_list(notifications) -> List[tuple]:
+    """Ordered (query, doc, replaced) triples — byte-identity oracle."""
+    return [
+        (
+            n.query_id,
+            n.document.doc_id,
+            n.replaced.doc_id if n.replaced is not None else None,
+        )
+        for n in notifications
+    ]
+
+
+def _run_scenario(
+    seed: int,
+    ops: int,
+    nodes: int,
+    replicas: int,
+    fault_plan: Optional[str] = None,
+) -> Dict:
+    corpus = SyntheticTweetCorpus(
+        vocab_size=250, n_topics=8, doc_length=(4, 10), seed=seed
+    )
+    documents = corpus.documents(ops * 8)
+    queries = lqd_queries(corpus, max(1, ops), first_id=0)
+    config = DasEngine.for_method(_METHOD, k=_K).config
+
+    sharded = ShardedDasEngine(nodes, config, routing="round_robin")
+    inner = DasEngine(config)
+    monitor = InvariantMonitor(inner, with_oracle=True)
+    single = InstrumentedEngine(inner, monitor=monitor)
+    injector = (
+        FaultPlan.parse(fault_plan).injector() if fault_plan else None
+    )
+
+    cluster, primaries, standbys = launch_cluster(
+        nodes,
+        replicas=replicas,
+        method=_METHOD,
+        k=_K,
+        routing="round_robin",
+        replica_lag=4,
+    )
+    rng = random.Random(seed * 7919 + ops * 13 + nodes)
+    checkpoint_at = max(1, ops // 3)
+
+    doc_cursor = 0
+    query_cursor = 0
+    subscribed: List[int] = []
+    mismatches: List[str] = []
+    events: List[str] = []
+    notifications_seen = 0
+
+    def check(label: str, ok: bool) -> None:
+        if not ok:
+            mismatches.append(label)
+
+    try:
+        for op_index in range(ops):
+            monitor.op_index = op_index
+            if op_index == checkpoint_at:
+                cluster.checkpoint()
+                events.append(f"checkpoint@{op_index}")
+            if injector is not None:
+                spec = injector.fire("node.fault")
+                if spec is not None and spec.action == "kill":
+                    primaries[spec.arg].kill()
+                    events.append(f"kill shard {spec.arg} @{op_index}")
+                elif spec is not None and spec.action == "partition":
+                    cluster.sever(spec.arg)
+                    events.append(
+                        f"partition shard {spec.arg} @{op_index}"
+                    )
+            roll = rng.random()
+            if roll < 0.30 and query_cursor < len(queries):
+                query = queries[query_cursor]
+                query_cursor += 1
+                initial = [
+                    [
+                        d.doc_id
+                        for d in engine.subscribe(
+                            DasQuery(query.query_id, query.terms)
+                        )
+                    ]
+                    for engine in (sharded, single, cluster)
+                ]
+                subscribed.append(query.query_id)
+                check(
+                    f"initial results of query {query.query_id}",
+                    initial[0] == initial[1] == initial[2],
+                )
+            elif roll < 0.40 and subscribed:
+                query_id = subscribed[rng.randrange(len(subscribed))]
+                results = [
+                    [d.doc_id for d in engine.results(query_id)]
+                    for engine in (sharded, single, cluster)
+                ]
+                check(
+                    f"results of query {query_id} @{op_index}",
+                    results[0] == results[1] == results[2],
+                )
+            else:
+                size = rng.randint(1, 6)
+                batch = documents[doc_cursor : doc_cursor + size]
+                doc_cursor += size
+                if not batch:
+                    continue
+                sharded_notes = sharded.publish_batch(batch)
+                single_notes = single.publish_batch(batch)
+                cluster_notes = cluster.publish_batch(batch)
+                notifications_seen += len(cluster_notes)
+                # Ordered identity against the sharded oracle (same
+                # shard count, routing and doc-major/shard-minor
+                # merge); set identity against the single engine (its
+                # per-document ordering follows query-table order, not
+                # shard interleave).
+                check(
+                    f"notification order @{op_index}",
+                    _note_list(cluster_notes) == _note_list(sharded_notes),
+                )
+                check(
+                    f"notification set @{op_index}",
+                    set(_note_list(cluster_notes))
+                    == set(_note_list(single_notes)),
+                )
+        for query_id in subscribed:
+            finals = [
+                [d.doc_id for d in engine.results(query_id)]
+                for engine in (sharded, single, cluster)
+            ]
+            check(
+                f"final results of query {query_id}",
+                finals[0] == finals[1] == finals[2],
+            )
+        # Zero accepted-op loss: every document the coordinator accepted
+        # is visible in the surviving nodes' merged counters.
+        check(
+            "accepted publishes survived",
+            cluster.counters.docs_published == doc_cursor,
+        )
+        monitor.check_all()
+        for violation in monitor.violations:
+            mismatches.append(f"invariant: {violation!r}")
+        stats = cluster.cluster_stats()
+        failovers = stats["failovers"]
+        reconnects = sum(
+            shard["primary"]["connection"]["reconnects"]
+            for shard in stats["shards"]
+        )
+    finally:
+        cluster.close()
+        for node in primaries + [s for s in standbys if s is not None]:
+            node.stop()
+    return {
+        "ops": ops,
+        "events": events,
+        "published": doc_cursor,
+        "subscribed": len(subscribed),
+        "notifications": notifications_seen,
+        "failovers": failovers,
+        "reconnects": reconnects,
+        "invariant_checks": dict(monitor.checks),
+        "mismatches": mismatches,
+        "ok": not mismatches,
+    }
+
+
+def run_cluster_crash_suite(
+    seed: int = 0, ops: int = 40, nodes: int = 2
+) -> Dict:
+    """Run the three scenarios; report is deterministic for fixed args."""
+    kill_arrival = max(2, ops // 2)
+    partition_arrival = max(2, ops // 3)
+    scenarios = {
+        "clean": _run_scenario(seed, ops, nodes, replicas=1),
+        "primary_kill": _run_scenario(
+            seed,
+            ops,
+            nodes,
+            replicas=1,
+            fault_plan=f"node.fault@{kill_arrival}:kill(0)",
+        ),
+        "partition": _run_scenario(
+            seed,
+            ops,
+            nodes,
+            replicas=0,
+            fault_plan=f"node.fault@{partition_arrival}:partition(0)",
+        ),
+    }
+    if scenarios["primary_kill"]["failovers"] < 1:
+        scenarios["primary_kill"]["mismatches"].append(
+            "expected at least one failover"
+        )
+        scenarios["primary_kill"]["ok"] = False
+    if scenarios["partition"]["reconnects"] < 1:
+        scenarios["partition"]["mismatches"].append(
+            "expected at least one reconnect"
+        )
+        scenarios["partition"]["ok"] = False
+    return {
+        "suite": "cluster_crash",
+        "seed": seed,
+        "nodes": nodes,
+        "scenarios": scenarios,
+        "ok": all(s["ok"] for s in scenarios.values()),
+    }

@@ -42,13 +42,16 @@ INJECTION_POINTS = (
     #   raising actions are process-fatal there (the worker dies)
     "client.publish",  # harness: before submitting a publish op
     "consumer.pull",  # harness: before a consume op
+    "node.fault",  # cluster harness: before an op touches the cluster;
+    #   kill(shard) SIGKILLs that shard's primary process,
+    #   partition(shard) severs the coordinator's connection to it
 )
 
 #: Actions that raise InjectedFaultError at the call site.
 RAISING_ACTIONS = ("raise", "disconnect", "torn")
 
 #: Actions interpreted by the simulation driver, not production code.
-HARNESS_ACTIONS = ("stall", "delay", "duplicate")
+HARNESS_ACTIONS = ("stall", "delay", "duplicate", "kill", "partition")
 
 _SPEC_RE = re.compile(
     r"^(?P<point>[\w.]+)@(?P<at>\d+)"

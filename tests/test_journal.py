@@ -1,0 +1,132 @@
+"""Op journal unit tests: offsets, truncation, streaming, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.persistence import (
+    OpJournal,
+    publish_entry,
+    subscribe_entry,
+    unsubscribe_entry,
+    validate_entry,
+)
+
+
+def test_entry_builders_are_json_safe_lists():
+    assert subscribe_entry(3, ("a", "b")) == ["subscribe", 3, ["a", "b"]]
+    assert unsubscribe_entry(7) == ["unsubscribe", 7]
+    docs = [{"doc_id": 0, "tf": {"a": 1}, "created_at": 1.0}]
+    assert publish_entry(docs) == ["publish", docs]
+
+
+def test_validate_entry_accepts_all_builder_shapes():
+    assert validate_entry(subscribe_entry(1, ["x"])) == (
+        "subscribe", 1, ["x"],
+    )
+    assert validate_entry(unsubscribe_entry(1)) == ("unsubscribe", 1)
+    docs = [{"doc_id": 4, "tf": {}, "created_at": 0.0}]
+    assert validate_entry(publish_entry(docs)) == ("publish", docs)
+
+
+@pytest.mark.parametrize(
+    "entry",
+    [
+        None,
+        [],
+        "subscribe",
+        ["fly", 1],
+        ["subscribe", "one", ["x"]],
+        ["subscribe", 1],
+        ["unsubscribe", "one"],
+        ["unsubscribe", 1, 2],
+        ["publish", "docs"],
+        ["publish", [{"tf": {}}]],  # document payload without doc_id
+    ],
+)
+def test_validate_entry_rejects_malformed(entry):
+    with pytest.raises(ReproError):
+        validate_entry(entry)
+
+
+def test_offsets_are_global_positions_not_list_indices():
+    journal = OpJournal()
+    assert journal.base == 0 and journal.end == 0
+    for i in range(5):
+        assert journal.append(unsubscribe_entry(i)) == i
+    assert journal.end == 5 and len(journal) == 5
+
+    dropped = journal.truncate_to(3)
+    assert dropped == 3
+    assert journal.base == 3 and journal.end == 5 and len(journal) == 2
+    # Retained entries keep their original offsets.
+    assert journal.entries_since(3) == [
+        unsubscribe_entry(3),
+        unsubscribe_entry(4),
+    ]
+    assert journal.entries_since(4) == [unsubscribe_entry(4)]
+    assert journal.entries_since(5) == []
+    assert journal.entries_since(99) == []
+
+
+def test_entries_below_base_require_a_checkpoint_handoff():
+    journal = OpJournal()
+    for i in range(4):
+        journal.append(unsubscribe_entry(i))
+    journal.truncate_to(2)
+    with pytest.raises(ReproError, match="checkpoint handoff"):
+        journal.entries_since(1)
+
+
+def test_truncate_is_clamped_to_retained_range():
+    journal = OpJournal()
+    for i in range(3):
+        journal.append(unsubscribe_entry(i))
+    # Truncating past end would lose unreplicated entries: clamped.
+    assert journal.truncate_to(99) == 3
+    assert journal.base == 3 and journal.end == 3
+    # Truncating below base is a no-op.
+    assert journal.truncate_to(0) == 0
+    assert journal.base == 3
+
+
+def test_file_backed_journal_recovers_after_crash(tmp_path):
+    path = str(tmp_path / "shard-0.journal")
+    journal = OpJournal(path)
+    journal.append(subscribe_entry(0, ["coffee"]))
+    journal.append(
+        publish_entry([{"doc_id": 0, "tf": {"coffee": 1}, "created_at": 1.0}])
+    )
+    journal.append(unsubscribe_entry(0))
+    journal.close()
+
+    recovered = OpJournal.load(path)
+    assert recovered.base == 0 and recovered.end == 3
+    assert recovered.entries_since(0) == list(journal)
+    # The recovered journal appends at the right offset and keeps
+    # writing to the same file.
+    assert recovered.append(unsubscribe_entry(9)) == 3
+    recovered.close()
+    assert OpJournal.load(path).end == 4
+
+
+def test_load_skips_duplicate_flushes(tmp_path):
+    path = str(tmp_path / "dup.journal")
+    with open(path, "w") as handle:
+        handle.write('{"offset": 0, "entry": ["unsubscribe", 1]}\n')
+        handle.write('{"offset": 0, "entry": ["unsubscribe", 1]}\n')
+        handle.write('\n')
+        handle.write('{"offset": 1, "entry": ["unsubscribe", 2]}\n')
+    journal = OpJournal.load(path)
+    assert journal.end == 2
+    assert journal.entries_since(0) == [
+        ["unsubscribe", 1],
+        ["unsubscribe", 2],
+    ]
+    journal.close()
+
+
+def test_load_missing_file_is_empty_journal(tmp_path):
+    journal = OpJournal.load(str(tmp_path / "absent.journal"))
+    assert journal.base == 0 and journal.end == 0

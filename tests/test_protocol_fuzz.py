@@ -165,6 +165,61 @@ def test_seeded_garbage_stream_never_wedges_the_connection():
     run(scenario())
 
 
+#: Malformed cluster-op frames (ISSUE 7, S3): every one must produce a
+#: structured error reply — never a half-applied journal entry, never a
+#: dead connection task.
+CLUSTER_MALFORMED_LINES = [
+    b'{"op": "replicate"}\n',  # missing offset/entries
+    b'{"op": "replicate", "offset": -1, "entries": []}\n',
+    b'{"op": "replicate", "offset": true, "entries": []}\n',
+    b'{"op": "replicate", "offset": 0, "entries": "xx"}\n',
+    b'{"op": "replicate", "offset": 0, "entries": [[]]}\n',  # empty entry
+    b'{"op": "replicate", "offset": 0, "entries": [["fly", 1]]}\n',
+    b'{"op": "replicate", "offset": 0, "entries": [["subscribe", "q", []]]}\n',
+    b'{"op": "replicate", "offset": 0, "entries": [["publish", [{"tf": {}}]]]}\n',
+    b'{"op": "replicate", "offset": 7, "entries": [["unsubscribe", 1]], '
+    b'"notify": false}\n',  # offset gap vs the node's applied offset
+    b'{"op": "replicate", "offset": 0, "entries": [], "notify": "yes"}\n',
+    b'{"op": "handoff"}\n',  # missing checkpoint/offset
+    b'{"op": "handoff", "checkpoint": [], "offset": 0}\n',
+    b'{"op": "handoff", "checkpoint": {}, "offset": 0}\n',  # bad payload
+    b'{"op": "handoff", "checkpoint": {"version": 99}, "offset": 0}\n',
+    b'{"op": "cluster_stats", "checkpoint": "yes"}\n',
+]
+
+
+def test_malformed_cluster_ops_get_structured_error_replies():
+    async def scenario():
+        runtime, server, host, port = await start_stack()
+        try:
+            replies = await raw_exchange(host, port, CLUSTER_MALFORMED_LINES)
+            assert len(replies) == len(CLUSTER_MALFORMED_LINES)
+            for line, reply in zip(CLUSTER_MALFORMED_LINES, replies):
+                assert reply["ok"] is False, line
+                assert "type" in reply["error"], line
+                assert "message" in reply["error"], line
+            # No half-applied entries: the node's replica offset is
+            # untouched and a well-formed replicate still lands.
+            good = await raw_exchange(
+                host,
+                port,
+                [
+                    b'{"op": "cluster_stats", "id": 1}\n',
+                    b'{"op": "replicate", "offset": 0, "entries": '
+                    b'[["subscribe", 0, ["w"]]], "notify": true, "id": 2}\n',
+                ],
+            )
+            assert good[0]["ok"] is True
+            assert good[0]["node"]["applied_offset"] == 0
+            assert good[1]["ok"] is True
+            assert good[1]["offset"] == 1
+        finally:
+            await server.stop()
+            await runtime.stop()
+
+    run(scenario())
+
+
 @settings(max_examples=200, deadline=None)
 @given(data=st.binary(min_size=0, max_size=200))
 def test_decode_line_is_total(data):

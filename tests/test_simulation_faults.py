@@ -79,7 +79,10 @@ def test_every_action_is_classified():
     assert set(RAISING_ACTIONS) & set(HARNESS_ACTIONS) == set()
     assert "raise" in RAISING_ACTIONS
     assert "stall" in HARNESS_ACTIONS
-    assert len(INJECTION_POINTS) == 9
+    assert "kill" in HARNESS_ACTIONS
+    assert "partition" in HARNESS_ACTIONS
+    assert "node.fault" in INJECTION_POINTS
+    assert len(INJECTION_POINTS) == 10
 
 
 # -- injector mechanics --------------------------------------------------
