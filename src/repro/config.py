@@ -218,6 +218,34 @@ class ServerConfig:
     #: every injection point at the cost of one attribute check.
     fault_injector: Optional[object] = None
 
+    # --- Durable event log (repro.eventlog, DESIGN.md §14) ---
+    #: Directory of the write-ahead event log.  ``None`` disables the
+    #: whole durability tier (log, resume, DLQ, checkpoints).  On start
+    #: the runtime recovers from the directory's newest checkpoint plus
+    #: a replay of the logged suffix.
+    eventlog_dir: Optional[str] = None
+    #: fsync policy of log appends: ``"always"`` syncs every append
+    #: batch, ``"batch"`` syncs on segment rotation only, ``"never"``
+    #: leaves flushing to the OS.
+    eventlog_fsync: str = "always"
+    #: Log entries per segment file before rotating.
+    eventlog_segment_entries: int = 512
+    #: Write a checkpoint (and truncate the log behind it) every N
+    #: appended records.  0 disables automatic checkpoints; explicit
+    #: ``checkpoint`` requests still work.
+    eventlog_checkpoint_every: int = 0
+    #: Retained notifications per durable subscriber; the oldest entry
+    #: is dead-lettered on overflow.
+    outbox_capacity: int = 256
+    #: Redelivery attempts before an un-acked notification is
+    #: dead-lettered ("N consecutive delivery failures").
+    dlq_max_attempts: int = 3
+    #: Per-session publish throttle: sustained publishes/second.  0
+    #: disables throttling.
+    throttle_rate: float = 0.0
+    #: Token-bucket burst allowance when throttling is enabled.
+    throttle_burst: int = 8
+
     def __post_init__(self) -> None:
         if self.ingest_capacity < 1:
             raise ConfigurationError(
@@ -255,6 +283,37 @@ class ServerConfig:
         ):
             raise ConfigurationError(
                 "fault_injector must expose a fire(point) method"
+            )
+        if self.eventlog_fsync not in ("always", "batch", "never"):
+            raise ConfigurationError(
+                f"eventlog_fsync must be 'always', 'batch' or 'never', "
+                f"got {self.eventlog_fsync!r}"
+            )
+        if self.eventlog_segment_entries < 1:
+            raise ConfigurationError(
+                f"eventlog_segment_entries must be >= 1, "
+                f"got {self.eventlog_segment_entries}"
+            )
+        if self.eventlog_checkpoint_every < 0:
+            raise ConfigurationError(
+                f"eventlog_checkpoint_every must be >= 0, "
+                f"got {self.eventlog_checkpoint_every}"
+            )
+        if self.outbox_capacity < 1:
+            raise ConfigurationError(
+                f"outbox_capacity must be >= 1, got {self.outbox_capacity}"
+            )
+        if self.dlq_max_attempts < 1:
+            raise ConfigurationError(
+                f"dlq_max_attempts must be >= 1, got {self.dlq_max_attempts}"
+            )
+        if self.throttle_rate < 0.0:
+            raise ConfigurationError(
+                f"throttle_rate must be >= 0, got {self.throttle_rate}"
+            )
+        if self.throttle_burst < 1:
+            raise ConfigurationError(
+                f"throttle_burst must be >= 1, got {self.throttle_burst}"
             )
 
     def evolve(self, **changes: object) -> "ServerConfig":

@@ -1,0 +1,61 @@
+"""Server-wide durable event log: WAL, catch-up, DLQ, throttling.
+
+The reliability tier (DESIGN.md §14).  Every accepted op — publish,
+subscribe, unsubscribe, ack — is appended to a segmented write-ahead
+:class:`EventLog` under one monotonic global offset *before* the engine
+matches it; recovery is the newest checkpoint plus a replay of the
+logged suffix (:func:`recover`).  On top of the log:
+
+* :class:`SubscriberRegistry` — durable subscriber identities with
+  per-subscriber acked offsets and retained outboxes, powering the
+  ``resume`` protocol op (reconnect/late-join catch-up);
+* :class:`DeadLetterQueue` — notifications that failed delivery too many
+  times, or overflowed a retained outbox, inspectable via ``repro dlq``;
+* :class:`TokenBucket` — per-client ingest throttling for queue-based
+  load leveling.
+"""
+
+from repro.eventlog.dlq import DLQ_FILENAME, DeadLetterQueue, read_dlq
+from repro.eventlog.records import (
+    RECORD_KINDS,
+    ack_record,
+    publish_record,
+    subscribe_record,
+    unsubscribe_record,
+    validate_record,
+)
+from repro.eventlog.recovery import (
+    RecoveredState,
+    checkpoint_path,
+    latest_checkpoint,
+    recover,
+    replay_record,
+    write_checkpoint,
+)
+from repro.eventlog.segments import FSYNC_POLICIES, EventLog, segment_name
+from repro.eventlog.subscribers import SubscriberRegistry, SubscriberState
+from repro.eventlog.throttle import TokenBucket
+
+__all__ = [
+    "DLQ_FILENAME",
+    "DeadLetterQueue",
+    "EventLog",
+    "FSYNC_POLICIES",
+    "RECORD_KINDS",
+    "RecoveredState",
+    "SubscriberRegistry",
+    "SubscriberState",
+    "TokenBucket",
+    "ack_record",
+    "checkpoint_path",
+    "latest_checkpoint",
+    "publish_record",
+    "read_dlq",
+    "recover",
+    "replay_record",
+    "segment_name",
+    "subscribe_record",
+    "unsubscribe_record",
+    "validate_record",
+    "write_checkpoint",
+]

@@ -1,0 +1,246 @@
+"""Recovery = latest checkpoint + event-log replay (DESIGN.md §14).
+
+A checkpoint file ``checkpoint-<offset>.json`` pairs an engine payload
+(:func:`repro.persistence.checkpoint.engine_checkpoint` schema — single,
+sharded and parallel deployments interchange files) with a
+:class:`~repro.eventlog.subscribers.SubscriberRegistry` snapshot, both
+taken at one log offset.  Because the registry's retained outboxes ride
+inside the checkpoint, truncating the log up to the checkpoint offset
+never strands an un-acked delivery.
+
+:func:`recover` is a pure function of the directory contents: load the
+newest readable checkpoint (torn or corrupt candidates — a crash during
+``checkpoint.write`` — are skipped in favour of older ones), restore the
+engine and registry from it, then re-apply every logged record above its
+offset in offset order.  Publish replay regenerates notifications and
+re-buffers them for their durable owners, which is what makes a resumed
+subscriber's stream byte-identical to an uninterrupted run: logged-but-
+unacked ops (the at-least-once in-doubt window) surface exactly once,
+via the outbox.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.query import DasQuery
+from repro.errors import ReproError
+from repro.eventlog.segments import EventLog
+from repro.eventlog.subscribers import SubscriberRegistry
+
+#: Checkpoint file naming: checkpoint-<20-digit offset>.json
+CHECKPOINT_PREFIX = "checkpoint-"
+CHECKPOINT_SUFFIX = ".json"
+
+#: Format marker for the combined engine+registry checkpoint file.
+EVENTLOG_CHECKPOINT_VERSION = 1
+
+
+def checkpoint_path(directory: str, offset: int) -> str:
+    return os.path.join(
+        directory, f"{CHECKPOINT_PREFIX}{offset:020d}{CHECKPOINT_SUFFIX}"
+    )
+
+
+def _checkpoint_offsets(directory: str) -> List[int]:
+    offsets = []
+    for name in os.listdir(directory):
+        if not (
+            name.startswith(CHECKPOINT_PREFIX)
+            and name.endswith(CHECKPOINT_SUFFIX)
+        ):
+            continue
+        digits = name[len(CHECKPOINT_PREFIX) : -len(CHECKPOINT_SUFFIX)]
+        if digits.isdigit():
+            offsets.append(int(digits))
+    return sorted(offsets)
+
+
+def write_checkpoint(
+    directory: str,
+    offset: int,
+    engine_payload: Dict[str, Any],
+    subscribers_payload: Dict[str, Any],
+    injector: Optional[object] = None,
+    keep: int = 2,
+) -> str:
+    """Atomically write a checkpoint at ``offset``; prunes old ones.
+
+    Same crash discipline as :func:`repro.persistence.checkpoint.save`:
+    the payload goes to a sibling temp file first and an injected
+    ``checkpoint.write`` ``torn`` fault leaves a truncated *temp* file —
+    never a truncated checkpoint — so recovery falls back to the previous
+    one.
+    """
+    payload = {
+        "version": EVENTLOG_CHECKPOINT_VERSION,
+        "offset": int(offset),
+        "engine": engine_payload,
+        "subscribers": subscribers_payload,
+    }
+    data = json.dumps(payload)
+    path = checkpoint_path(directory, offset)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as handle:
+        if injector is not None:
+            try:
+                injector.fire("checkpoint.write")
+            except Exception as exc:
+                if getattr(exc, "action", "") == "torn":
+                    handle.write(data[: len(data) // 2])
+                raise
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    for old in _checkpoint_offsets(directory)[:-keep]:
+        os.remove(checkpoint_path(directory, old))
+    return path
+
+
+def latest_checkpoint(directory: str) -> Optional[Dict[str, Any]]:
+    """Newest readable checkpoint payload, or None.
+
+    Unreadable candidates (torn write that somehow reached the final
+    name, wrong version, truncated JSON) are skipped, not fatal — an
+    older checkpoint plus a longer replay is always available.
+    """
+    for offset in reversed(_checkpoint_offsets(directory)):
+        try:
+            with open(checkpoint_path(directory, offset)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == EVENTLOG_CHECKPOINT_VERSION
+            and isinstance(payload.get("offset"), int)
+        ):
+            return payload
+    return None
+
+
+@dataclass
+class RecoveredState:
+    """What :func:`recover` hands back to the serving runtime."""
+
+    engine: object
+    registry: SubscriberRegistry
+    log: EventLog
+    checkpoint_offset: int = -1
+    replayed: int = 0
+    #: (offset, error string) for tolerated replay anomalies (e.g. an
+    #: unsubscribe whose query a later checkpoint already removed).
+    replay_errors: List[Tuple[int, str]] = field(default_factory=list)
+
+
+def _restore_engine(payload: Dict[str, Any], parallel: bool) -> object:
+    from repro.persistence.checkpoint import restore_payload
+
+    if parallel and payload.get("sharded"):
+        from repro.parallel import ParallelShardedEngine
+
+        return ParallelShardedEngine.from_checkpoint(payload)
+    return restore_payload(payload)
+
+
+def replay_record(
+    engine: object,
+    registry: SubscriberRegistry,
+    offset: int,
+    record: Dict[str, Any],
+) -> None:
+    """Re-apply one logged record to an engine + registry pair.
+
+    Publish replay re-buffers the regenerated notifications for their
+    durable owners (offsets at or below a subscriber's acked floor are
+    dropped by the registry, keeping replay idempotent).
+    """
+    from repro.server.protocol import (
+        document_from_payload,
+        notification_payload,
+    )
+
+    kind = record["kind"]
+    if kind == "subscribe":
+        engine.subscribe(DasQuery(record["query_id"], record["terms"]))
+        name = record.get("subscriber")
+        if name is not None:
+            registry.record_subscribe(name, record["query_id"], record["terms"])
+    elif kind == "unsubscribe":
+        registry.record_unsubscribe(record["query_id"])
+        engine.unsubscribe(record["query_id"])
+    elif kind == "ack":
+        registry.ack(record["subscriber"], record["offset"])
+    else:  # publish
+        document = document_from_payload(record["doc"])
+        notifications = engine.publish_batch([document])
+        for notification in notifications:
+            name = registry.owner_of(notification.query_id)
+            if name is not None:
+                registry.offer(
+                    name,
+                    offset,
+                    notification.query_id,
+                    notification_payload(notification, offset=offset),
+                )
+
+
+def recover(
+    directory: str,
+    engine: object,
+    registry: Optional[SubscriberRegistry] = None,
+    fsync: str = "always",
+    segment_entries: int = 512,
+    parallel: bool = False,
+    injector: Optional[object] = None,
+) -> RecoveredState:
+    """Bring a directory's logged history back to life.
+
+    ``engine`` is the *fresh* engine to replay into when no checkpoint
+    exists; when one does, the checkpointed engine replaces it (the
+    caller inspects ``RecoveredState.engine`` and swaps).  ``registry``
+    lets the caller pre-configure capacity/DLQ wiring; a default one is
+    built otherwise.
+    """
+    os.makedirs(directory, exist_ok=True)
+    if registry is None:
+        registry = SubscriberRegistry()
+    checkpoint = latest_checkpoint(directory)
+    checkpoint_offset = -1
+    if checkpoint is not None:
+        engine = _restore_engine(checkpoint["engine"], parallel)
+        registry.load(checkpoint["subscribers"])
+        checkpoint_offset = checkpoint["offset"]
+    log = EventLog(
+        directory,
+        fsync=fsync,
+        segment_entries=segment_entries,
+        injector=injector,
+    )
+    replay_from = max(checkpoint_offset, 0)
+    if replay_from < log.base:
+        raise ReproError(
+            f"event log base {log.base} is past the checkpoint offset "
+            f"{replay_from}: retained history has a gap"
+        )
+    state = RecoveredState(
+        engine=engine,
+        registry=registry,
+        log=log,
+        checkpoint_offset=checkpoint_offset,
+    )
+    for offset, record in log.entries_since(replay_from):
+        try:
+            replay_record(engine, registry, offset, record)
+        except ReproError as exc:
+            # Tolerated: e.g. unsubscribing a query the engine no longer
+            # knows.  Replay must converge on the pre-crash state, not
+            # die on an op the live server also treated as a client
+            # error.
+            state.replay_errors.append((offset, str(exc)))
+        state.replayed += 1
+    return state

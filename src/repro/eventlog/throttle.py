@@ -1,0 +1,65 @@
+"""Per-client token-bucket throttling for ingest load-leveling.
+
+The serving runtime keeps one bucket per publishing session: each accepted
+publish costs one token, tokens refill at ``rate`` per second up to
+``burst``.  Rather than rejecting over-limit publishes, the runtime
+*awaits* the bucket's suggested delay — queue-based load leveling: a hot
+client is smeared out over time while the bounded ingest queue keeps
+absorbing the smoothed stream.  The wait time surfaces in
+``stats.throttling`` and the ``throttle_wait`` pipeline stage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import ReproError
+
+
+class TokenBucket:
+    """Deterministic token bucket (caller supplies the clock readings)."""
+
+    def __init__(self, rate: float, burst: int) -> None:
+        if rate <= 0.0:
+            raise ReproError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ReproError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._tokens = float(burst)
+        self._last: float = 0.0
+        self._primed = False
+        self.taken = 0
+        self.waited = 0.0
+
+    def take(self, now: float) -> float:
+        """Try to take one token at time ``now``.
+
+        Returns 0.0 when a token was available (and consumed), else the
+        seconds to wait before retrying.  Callers loop
+        ``while (wait := bucket.take(now())) > 0: await sleep(wait)``.
+        """
+        if not self._primed:
+            self._primed = True
+            self._last = now
+        elif now > self._last:
+            self._tokens = min(
+                float(self.burst), self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.taken += 1
+            return 0.0
+        wait = (1.0 - self._tokens) / self.rate
+        self.waited += wait
+        return wait
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "tokens": round(self._tokens, 6),
+            "taken": self.taken,
+            "waited": round(self.waited, 6),
+        }

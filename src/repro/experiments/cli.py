@@ -12,6 +12,9 @@ Usage::
     python -m repro.experiments.cli node --port 0
     python -m repro.experiments.cli cluster --nodes 2 --replicas 1
     python -m repro.experiments.cli simulate --cluster-nodes 2
+    python -m repro.experiments.cli serve --eventlog-dir /var/lib/repro
+    python -m repro.experiments.cli simulate --scenario kill9-load
+    python -m repro.experiments.cli dlq --dir /var/lib/repro
 """
 
 from __future__ import annotations
@@ -159,6 +162,68 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="cap on the adaptive micro-batch size (default: 64)",
     )
+    serve.add_argument(
+        "--eventlog-dir",
+        default=None,
+        help=(
+            "enable the durability tier: write-ahead event log, replay "
+            "recovery, resume/ack/dlq ops (default: disabled)"
+        ),
+    )
+    serve.add_argument(
+        "--eventlog-fsync",
+        choices=("always", "batch", "never"),
+        default="always",
+        help="event-log fsync policy (default: always)",
+    )
+    serve.add_argument(
+        "--eventlog-segment-entries",
+        type=int,
+        default=512,
+        help="entries per event-log segment file (default: 512)",
+    )
+    serve.add_argument(
+        "--eventlog-checkpoint-every",
+        type=int,
+        default=0,
+        help=(
+            "checkpoint + truncate the log every N appends "
+            "(default: 0 = never; recovery replays the whole log)"
+        ),
+    )
+    serve.add_argument(
+        "--outbox-capacity",
+        type=int,
+        default=256,
+        help=(
+            "retained notifications per durable subscriber before the "
+            "oldest is dead-lettered (default: 256)"
+        ),
+    )
+    serve.add_argument(
+        "--dlq-max-attempts",
+        type=int,
+        default=3,
+        help=(
+            "redeliveries before a notification is dead-lettered "
+            "(default: 3)"
+        ),
+    )
+    serve.add_argument(
+        "--throttle-rate",
+        type=float,
+        default=0.0,
+        help=(
+            "per-client publish token-bucket refill rate per second "
+            "(default: 0 = unthrottled)"
+        ),
+    )
+    serve.add_argument(
+        "--throttle-burst",
+        type=int,
+        default=8,
+        help="token-bucket burst capacity (default: 8)",
+    )
 
     node = commands.add_parser(
         "node",
@@ -301,9 +366,47 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     simulate.add_argument(
+        "--scenario",
+        choices=("kill9-load",),
+        default=None,
+        help=(
+            "instead of the default suite, run one named chaos "
+            "scenario; 'kill9-load' SIGKILLs a real serve process "
+            "under publish load and proves zero accepted-op loss "
+            "from the event log"
+        ),
+    )
+    simulate.add_argument(
+        "--kills",
+        type=int,
+        default=2,
+        help="SIGKILL/restart cycles for --scenario kill9-load (default: 2)",
+    )
+    simulate.add_argument(
         "--report",
         default=None,
         help="also write the JSON report to this path",
+    )
+
+    dlq = commands.add_parser(
+        "dlq",
+        help="inspect a server's dead-letter queue offline",
+        description=(
+            "Read the dead-letter segment of an event-log directory "
+            "(no server required) and print per-reason/per-subscriber "
+            "counts plus the newest entries."
+        ),
+    )
+    dlq.add_argument(
+        "--dir",
+        required=True,
+        help="event-log directory (the serve --eventlog-dir value)",
+    )
+    dlq.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="newest entries to print in full (default: 10)",
     )
     return parser
 
@@ -333,6 +436,18 @@ def build_serve_runtime(args):
         host=args.host,
         port=args.port,
         parallel_workers=parallel_workers if parallel_workers > 1 else 0,
+        eventlog_dir=getattr(args, "eventlog_dir", None),
+        eventlog_fsync=getattr(args, "eventlog_fsync", "always"),
+        eventlog_segment_entries=getattr(
+            args, "eventlog_segment_entries", 512
+        ),
+        eventlog_checkpoint_every=getattr(
+            args, "eventlog_checkpoint_every", 0
+        ),
+        outbox_capacity=getattr(args, "outbox_capacity", 256),
+        dlq_max_attempts=getattr(args, "dlq_max_attempts", 3),
+        throttle_rate=getattr(args, "throttle_rate", 0.0),
+        throttle_burst=getattr(args, "throttle_burst", 8),
     )
     runtime = ServerRuntime(engine, config)
     return runtime, NdjsonTcpServer(runtime)
@@ -442,7 +557,13 @@ def run_simulate(args) -> int:
         run_parallel_crash_suite,
     )
 
-    if getattr(args, "cluster_nodes", 0) > 0:
+    if getattr(args, "scenario", None) == "kill9-load":
+        from repro.simulation.eventlog import run_kill9_suite
+
+        report = run_kill9_suite(
+            args.seed, ops=args.ops, kills=args.kills
+        )
+    elif getattr(args, "cluster_nodes", 0) > 0:
         from repro.simulation.cluster import run_cluster_crash_suite
 
         report = run_cluster_crash_suite(
@@ -467,6 +588,38 @@ def run_simulate(args) -> int:
         with open(args.report, "w") as handle:
             handle.write(text + "\n")
     return 0 if report["ok"] else 1
+
+
+def run_dlq(args) -> int:
+    """Offline DLQ inspection: counts plus the newest entries."""
+    import json
+
+    from repro.eventlog import read_dlq
+
+    entries = read_dlq(args.dir)
+    by_reason: Dict[str, int] = {}
+    by_subscriber: Dict[str, int] = {}
+    for entry in entries:
+        by_reason[entry["reason"]] = by_reason.get(entry["reason"], 0) + 1
+        by_subscriber[entry["subscriber"]] = (
+            by_subscriber.get(entry["subscriber"], 0) + 1
+        )
+    print(
+        json.dumps(
+            {
+                "directory": args.dir,
+                "entries": len(entries),
+                "by_reason": by_reason,
+                "by_subscriber": by_subscriber,
+                "newest": entries[-max(0, args.limit) :]
+                if args.limit > 0
+                else [],
+            },
+            sort_keys=True,
+            indent=2,
+        )
+    )
+    return 0
 
 
 def run_figures(
@@ -523,6 +676,8 @@ def main(argv: Sequence[str] = None) -> int:
         return run_metrics(args)
     if args.command == "simulate":
         return run_simulate(args)
+    if args.command == "dlq":
+        return run_dlq(args)
     run_figures(args.figures, args.scale, args.out)
     return 0
 

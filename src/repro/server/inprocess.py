@@ -73,6 +73,26 @@ class InProcessClient:
             payload["created_at"] = created_at
         return await self.request(payload)
 
+    async def resume(
+        self, subscriber: str, offset: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Attach the session to a durable subscriber (eventlog tier)."""
+        payload: Dict[str, Any] = {"op": "resume", "subscriber": subscriber}
+        if offset is not None:
+            payload["offset"] = offset
+        return await self.request(payload)
+
+    async def ack(self, offset: int) -> Dict[str, Any]:
+        """Confirm delivery up to the given event-log offset."""
+        return await self.request({"op": "ack", "offset": int(offset)})
+
+    async def dlq(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """Inspect the server's dead-letter queue."""
+        payload: Dict[str, Any] = {"op": "dlq"}
+        if limit is not None:
+            payload["limit"] = limit
+        return await self.request(payload)
+
     async def results(self, query_id: int) -> List[Dict[str, Any]]:
         reply = await self.request({"op": "results", "query_id": query_id})
         return reply["results"]

@@ -21,6 +21,9 @@ op                    fields
 ``replicate``         ``offset``, ``entries`` (journal suffix), ``notify``
 ``handoff``           ``checkpoint`` (engine payload), ``offset``
 ``cluster_stats``     optional ``checkpoint`` (include an engine payload)
+``resume``            ``subscriber`` (durable name); optional ``offset``
+``ack``               ``offset`` (delivery confirmed up to it)
+``dlq``               optional ``limit`` (newest N dead-letter entries)
 ====================  =====================================================
 
 The last three are the cluster tier's control plane (DESIGN.md §13):
@@ -29,6 +32,16 @@ engine (the coordinator drives *both* primaries and standbys with it),
 ``handoff`` installs a checkpoint payload wholesale (seeding a replica
 whose journal history was truncated), and ``cluster_stats`` is the
 heartbeat/observability probe.
+
+``resume``/``ack``/``dlq`` are the durability tier (DESIGN.md §14,
+requires the server to run with an event log): ``resume`` attaches the
+connection to a durable subscriber identity and replays every retained
+notification above the given offset (same query ids as before the
+outage), ``ack`` confirms delivery up to an offset so the server can
+trim the retained outbox, and ``dlq`` inspects the dead-letter queue.
+When the event log is enabled, every pushed ``notify`` payload carries
+the global ``offset`` of the publish that produced it — the value a
+client hands back to ``resume``/``ack``.
 
 Replies are ``{"ok": true, "reply_to": ..., ...}`` on success and
 ``{"ok": false, "reply_to": ..., "error": {"type", "message"}}`` on
@@ -59,6 +72,9 @@ REQUEST_OPS = (
     "replicate",
     "handoff",
     "cluster_stats",
+    "resume",
+    "ack",
+    "dlq",
 )
 
 #: repro error-class name -> class, for structured client-side re-raising.
@@ -96,9 +112,13 @@ def document_from_payload(payload: Dict[str, Any]) -> Document:
     )
 
 
-def notification_payload(notification: Notification) -> Dict[str, Any]:
+def notification_payload(
+    notification: Notification, offset: Optional[int] = None
+) -> Dict[str, Any]:
+    """One result-set change; ``offset`` is the event-log offset of the
+    publish that produced it (present only when the log is enabled)."""
     replaced = notification.replaced
-    return {
+    payload = {
         "op": "notify",
         "query_id": notification.query_id,
         "document": document_payload(notification.document),
@@ -106,6 +126,9 @@ def notification_payload(notification: Notification) -> Dict[str, Any]:
             document_payload(replaced) if replaced is not None else None
         ),
     }
+    if offset is not None:
+        payload["offset"] = int(offset)
+    return payload
 
 
 def snapshot_payload(
@@ -211,6 +234,27 @@ def parse_request(payload: Any) -> Dict[str, Any]:
         want = payload.get("checkpoint")
         if want is not None and not isinstance(want, bool):
             raise ProtocolError("cluster_stats 'checkpoint' must be a boolean")
+    if op == "resume":
+        subscriber = payload.get("subscriber")
+        if not isinstance(subscriber, str) or not subscriber:
+            raise ProtocolError(
+                "resume requires a non-empty string 'subscriber'"
+            )
+        offset = payload.get("offset")
+        if offset is not None and (
+            not isinstance(offset, int) or isinstance(offset, bool)
+        ):
+            raise ProtocolError("resume 'offset' must be an integer")
+    if op == "ack":
+        offset = payload.get("offset")
+        if not isinstance(offset, int) or isinstance(offset, bool) or offset < 0:
+            raise ProtocolError("ack requires a non-negative integer 'offset'")
+    if op == "dlq":
+        limit = payload.get("limit")
+        if limit is not None and (
+            not isinstance(limit, int) or isinstance(limit, bool) or limit < 1
+        ):
+            raise ProtocolError("dlq 'limit' must be a positive integer")
     return payload
 
 

@@ -31,11 +31,20 @@ Shutdown (``stop(drain=True)``) stops accepting new work, lets the
 matcher flush everything already accepted, then flushes delivery queues
 against ``ServerConfig.drain_timeout`` — under the ``block`` policy every
 accepted document's notifications reach their consumers (no loss).
+
+With ``ServerConfig.eventlog_dir`` set, the runtime gains the durability
+tier (DESIGN.md §14): every accepted op is appended to a write-ahead
+:class:`repro.eventlog.EventLog` *before* the engine matches it, start
+recovers from the newest checkpoint plus a log replay, durable
+subscribers catch up over outages via the ``resume``/``ack`` ops,
+undeliverable notifications land in a dead-letter queue, and per-session
+token buckets throttle hot publishers.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import suppress
@@ -52,6 +61,17 @@ from repro.errors import (
     ReproError,
     ServerClosedError,
     UnknownQueryError,
+)
+from repro.eventlog import (
+    DeadLetterQueue,
+    SubscriberRegistry,
+    TokenBucket,
+    ack_record,
+    publish_record,
+    recover,
+    subscribe_record,
+    unsubscribe_record,
+    write_checkpoint,
 )
 from repro.metrics.instrumentation import Counters
 from repro.persistence.checkpoint import engine_checkpoint, restore_payload
@@ -171,6 +191,15 @@ class EngineFacade:
         self._next_query_id = query_id + 1
         return query_id, initial
 
+    def next_query_id(self) -> int:
+        """The id the next subscribe will be assigned (without taking it).
+
+        The eventlog tier appends the subscribe record — which must name
+        the query id — *before* the engine call, so the matcher peeks
+        the id here and registers it via :meth:`subscribe_as`.
+        """
+        return max(self._next_query_id, self._query_floor())
+
     def subscribe_as(self, query_id: int, keywords: Iterable[str]) -> List[Document]:
         """Subscribe under an externally assigned id (journal replay).
 
@@ -271,6 +300,22 @@ class ServerRuntime:
         self._handoffs = 0
         self._retired_drops = {policy: 0 for policy in SLOW_CONSUMER_POLICIES}
         self._retired_coalesced = 0
+        # -- durability tier (None unless eventlog_dir is configured) --
+        self._eventlog = None
+        self._dlq: Optional[DeadLetterQueue] = None
+        self._registry: Optional[SubscriberRegistry] = None
+        #: query_id -> durable subscriber name (survives detach; the
+        #: live ``_owners`` mapping only covers attached sessions).
+        self._durable_owners: Dict[int, str] = {}
+        self._checkpoint_offset = -1
+        self._appended_since_checkpoint = 0
+        self._checkpoints_written = 0
+        self._checkpoint_errors = 0
+        self._recovery: Optional[Dict[str, Any]] = None
+        #: session_id -> publish token bucket (throttle_rate > 0 only).
+        self._buckets: Dict[int, TokenBucket] = {}
+        self._throttled_publishes = 0
+        self._throttle_waited = 0.0
         #: Serving-pipeline stage histograms (engine stages live in the
         #: engine's Telemetry; merged into one surface by stats()).
         self._pipeline = {
@@ -329,11 +374,79 @@ class ServerRuntime:
             self._executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-matcher"
             )
+        if self._config.eventlog_dir is not None:
+            self._open_eventlog()
         self._next_doc_id = self._facade.doc_id_floor()
         self._last_created_at = self._facade.clock_now()
         self._facade.ensure_telemetry()
         self._matcher_task = asyncio.create_task(self._matcher_loop())
         self._state = "running"
+
+    def _open_eventlog(self) -> None:
+        """Open (and recover from) the configured event-log directory.
+
+        Runs once in ``start`` before the matcher exists, so recovery
+        replay is the first thing the engine sees.  When the directory
+        holds a checkpoint, the engine restored from it *replaces* the
+        fresh one this runtime was constructed with.
+        """
+        config = self._config
+        if isinstance(self._facade.engine, PublishSubscribeService):
+            raise ConfigurationError(
+                "eventlog_dir is not supported for PublishSubscribeService "
+                "engines (no externally assigned query ids)"
+            )
+        os.makedirs(config.eventlog_dir, exist_ok=True)
+        self._dlq = DeadLetterQueue(
+            config.eventlog_dir, fsync=config.eventlog_fsync
+        )
+        registry = SubscriberRegistry(
+            outbox_capacity=config.outbox_capacity,
+            max_attempts=config.dlq_max_attempts,
+            dlq=self._dlq,
+        )
+        provided = self._facade.engine
+        fresh = (
+            self._facade.next_query_id() == 0
+            and self._facade.doc_id_floor() == 0
+        )
+        state = recover(
+            config.eventlog_dir,
+            provided,
+            registry=registry,
+            fsync=config.eventlog_fsync,
+            segment_entries=config.eventlog_segment_entries,
+            parallel=config.parallel_workers > 1,
+            injector=self._injector,
+        )
+        if state.engine is not provided:
+            if not fresh:
+                state.log.close()
+                self._dlq.close()
+                raise ConfigurationError(
+                    "eventlog recovery found a checkpoint but the provided "
+                    "engine already holds state; pass a fresh engine"
+                )
+            if self._owns_engine:
+                close = getattr(provided, "close", None)
+                if close is not None:
+                    close()
+            if config.parallel_workers > 1:
+                # The restored parallel engine's workers are ours to stop.
+                self._owns_engine = True
+        # Always re-wrap: recovery replay bypassed the facade's id floor.
+        self._facade.replace_engine(state.engine)
+        self._eventlog = state.log
+        self._registry = state.registry
+        self._checkpoint_offset = state.checkpoint_offset
+        for name in registry.names():
+            for query_id in registry.get(name).queries:
+                self._durable_owners[query_id] = name
+        self._recovery = {
+            "checkpoint_offset": state.checkpoint_offset,
+            "replayed": state.replayed,
+            "replay_errors": len(state.replay_errors),
+        }
 
     async def stop(self, drain: bool = True) -> None:
         """Graceful (or immediate) shutdown.
@@ -382,6 +495,10 @@ class ServerRuntime:
         )
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._eventlog is not None:
+            self._eventlog.close()
+        if self._dlq is not None:
+            self._dlq.close()
         if self._owns_engine:
             close = getattr(self._facade.engine, "close", None)
             if close is not None:
@@ -426,15 +543,32 @@ class ServerRuntime:
         return session
 
     async def close_session(self, session: SubscriberSession) -> None:
-        """Close a session and release its subscriptions."""
+        """Close a session and release its subscriptions.
+
+        Anonymous sessions retire (unsubscribe) their queries; a durable
+        subscriber merely *detaches* — its queries stay live in the
+        engine and notifications keep accruing to its retained outbox
+        until it resumes (or they dead-letter).
+        """
         await session.close("client")
-        if self._state == "running" and session.queries:
+        if session.subscriber is not None:
+            self._detach_subscriber(session)
+        elif self._state == "running" and session.queries:
             await self._submit_control("retire", session, None)
         else:
             for query_id in list(session.queries):
                 self._owners.pop(query_id, None)
             session.queries.clear()
         self._remove_session(session)
+
+    def _detach_subscriber(self, session: SubscriberSession) -> None:
+        """Disconnect a durable subscriber without touching the engine."""
+        if self._registry is not None:
+            self._registry.detach(session.subscriber)
+        for query_id in list(session.queries):
+            if self._owners.get(query_id) is session:
+                self._owners.pop(query_id)
+        session.queries.clear()
 
     def _remove_session(self, session: SubscriberSession) -> None:
         if self._sessions.pop(session.session_id, None) is not None:
@@ -481,14 +615,20 @@ class ServerRuntime:
         tokens: Optional[Sequence[str]] = None,
         text: Optional[str] = None,
         created_at: Optional[float] = None,
+        session: Optional[SubscriberSession] = None,
     ) -> Dict[str, float]:
         """Submit one document; resolves once its notifications are
         enqueued to every (non-stalled) subscriber session.
 
-        Returns ``{"doc_id", "created_at"}`` — the accepted identity.
+        Returns ``{"doc_id", "created_at"}`` — the accepted identity —
+        plus ``"offset"`` when the event log is enabled.  ``session``
+        identifies the publisher for per-session throttling.
         """
         if tokens is None and text is None:
             raise ReproError("publish requires tokens or text")
+        self._require_running("publish")
+        if self._config.throttle_rate > 0.0 and session is not None:
+            await self._throttle(session)
         self._require_running("publish")
         if self._injector is not None:
             self._injector.fire("ingest.put")
@@ -499,6 +639,90 @@ class ServerRuntime:
             )
         )
         return await future
+
+    async def _throttle(self, session: SubscriberSession) -> None:
+        """Queue-based load leveling: await (never reject) a hot client.
+
+        One token bucket per session; the bucket clock is the event
+        loop's monotonic clock so waits always elapse, even when the
+        runtime's ``time_source`` is a simulated clock.
+        """
+        bucket = self._buckets.get(session.session_id)
+        if bucket is None:
+            bucket = self._buckets[session.session_id] = TokenBucket(
+                self._config.throttle_rate, self._config.throttle_burst
+            )
+        waited = 0.0
+        while True:
+            wait = bucket.take(self._loop.time())
+            if wait <= 0.0:
+                break
+            if waited == 0.0:
+                self._throttled_publishes += 1
+            waited += wait
+            await asyncio.sleep(wait)
+        if waited > 0.0:
+            self._throttle_waited += waited
+            self._pipeline["throttle_wait"].observe(waited)
+
+    def _require_eventlog(self, op: str) -> None:
+        if self._eventlog is None:
+            raise ConfigurationError(
+                f"{op} requires the event log (set eventlog_dir)"
+            )
+
+    async def resume(
+        self,
+        session: SubscriberSession,
+        subscriber: str,
+        offset: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Attach ``session`` to a durable subscriber and replay its
+        retained notifications above ``offset`` (default: its acked
+        floor).  Runs through the matcher barrier so the replayed
+        entries and subsequent live notifications form one gap-free,
+        duplicate-free stream."""
+        self._require_eventlog("resume")
+        result = await self._submit_control(
+            "resume", session, (subscriber, offset)
+        )
+        return result
+
+    def ack(
+        self, session: SubscriberSession, offset: int
+    ) -> Dict[str, Any]:
+        """Confirm delivery up to ``offset`` for the session's durable
+        subscriber; logged so recovery trims the outbox identically."""
+        self._require_eventlog("ack")
+        name = session.subscriber if session is not None else None
+        if name is None:
+            raise ReproError(
+                "ack requires a session resumed as a durable subscriber"
+            )
+        self._eventlog.append(ack_record(name, int(offset)))
+        self._appended_since_checkpoint += 1
+        trimmed = self._registry.ack(name, int(offset))
+        session.acked_offset = max(session.acked_offset, int(offset))
+        return {
+            "subscriber": name,
+            "acked": self._registry.get(name).acked,
+            "trimmed": trimmed,
+        }
+
+    def dlq_report(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The ``dlq`` op payload (also works with the log disabled)."""
+        if self._dlq is None:
+            return {"enabled": False, "stats": None, "entries": []}
+        return {
+            "enabled": True,
+            "stats": self._dlq.stats(),
+            "entries": self._dlq.entries(limit),
+        }
+
+    async def checkpoint_eventlog(self) -> Dict[str, Any]:
+        """Write an event-log checkpoint now (matcher barrier)."""
+        self._require_eventlog("checkpoint")
+        return await self._submit_control("eventlog_checkpoint", None, None)
 
     def stats(self) -> Dict[str, Any]:
         """Admin surface: queue depths, batching, per-policy drops,
@@ -532,6 +756,38 @@ class ServerRuntime:
             "workers": self._worker_stats(),
             "cluster": self._cluster_stats(),
             "telemetry": self._telemetry_section(counters),
+            "eventlog": self._eventlog_section(),
+            "dlq": self._dlq.stats() if self._dlq is not None else None,
+            "subscribers": (
+                self._registry.stats() if self._registry is not None else None
+            ),
+            "throttling": self._throttling_section(),
+        }
+
+    def _eventlog_section(self) -> Optional[Dict[str, Any]]:
+        """Durability section of stats(); None when the log is disabled."""
+        if self._eventlog is None:
+            return None
+        section = self._eventlog.stats()
+        section["checkpoint_offset"] = self._checkpoint_offset
+        section["checkpoints_written"] = self._checkpoints_written
+        section["checkpoint_errors"] = self._checkpoint_errors
+        section["appended_since_checkpoint"] = self._appended_since_checkpoint
+        section["recovery"] = self._recovery
+        return section
+
+    def _throttling_section(self) -> Optional[Dict[str, Any]]:
+        if self._config.throttle_rate <= 0.0:
+            return None
+        return {
+            "rate": self._config.throttle_rate,
+            "burst": self._config.throttle_burst,
+            "throttled_publishes": self._throttled_publishes,
+            "total_wait": round(self._throttle_waited, 6),
+            "buckets": {
+                session_id: bucket.snapshot()
+                for session_id, bucket in sorted(self._buckets.items())
+            },
         }
 
     def _worker_stats(self) -> Optional[Dict[str, Any]]:
@@ -625,8 +881,22 @@ class ServerRuntime:
                     tokens=request.get("tokens"),
                     text=request.get("text"),
                     created_at=request.get("created_at"),
+                    session=session,
                 )
                 return ok_reply(reply_to, **ack)
+            if op == "resume":
+                result = await self.resume(
+                    session, request["subscriber"], request.get("offset")
+                )
+                return ok_reply(reply_to, **result)
+            if op == "ack":
+                return ok_reply(
+                    reply_to, **self.ack(session, request["offset"])
+                )
+            if op == "dlq":
+                return ok_reply(
+                    reply_to, **self.dlq_report(request.get("limit"))
+                )
             if op == "results":
                 documents = await self.results(request["query_id"])
                 return ok_reply(
@@ -717,13 +987,39 @@ class ServerRuntime:
                 self._inflight = [held]
                 await self._run_control(held)
                 self._inflight.clear()
+            if self._eventlog is not None:
+                await self._maybe_checkpoint()
 
     async def _run_control(self, item: _ControlItem) -> None:
         try:
             if item.kind == "subscribe":
-                query_id, initial = await self._call_engine(
-                    self._facade.subscribe, item.args
-                )
+                if self._eventlog is None:
+                    query_id, initial = await self._call_engine(
+                        self._facade.subscribe, item.args
+                    )
+                else:
+                    # WAL discipline: the subscribe record (naming the
+                    # id it will get) is durable before the engine call.
+                    query_id = self._facade.next_query_id()
+                    name = (
+                        item.session.subscriber
+                        if item.session is not None
+                        else None
+                    )
+                    self._eventlog.append(
+                        subscribe_record(
+                            query_id, list(item.args), subscriber=name
+                        )
+                    )
+                    self._appended_since_checkpoint += 1
+                    initial = await self._call_engine(
+                        self._facade.subscribe_as, query_id, item.args
+                    )
+                    if name is not None:
+                        self._registry.record_subscribe(
+                            name, query_id, item.args
+                        )
+                        self._durable_owners[query_id] = name
                 self._owners[query_id] = item.session
                 if item.session is not None:
                     item.session.queries.add(query_id)
@@ -732,14 +1028,36 @@ class ServerRuntime:
                 query_id = item.args
                 owner = self._owners.get(query_id)
                 if item.session is not None and owner is not item.session:
-                    raise UnknownQueryError(
-                        f"query {query_id} is not owned by this session"
+                    # A durable subscriber may unsubscribe its own
+                    # (re-attached) queries even while routing lags.
+                    name = (
+                        item.session.subscriber
+                        if item.session is not None
+                        else None
                     )
+                    if name is None or self._durable_owners.get(query_id) != name:
+                        raise UnknownQueryError(
+                            f"query {query_id} is not owned by this session"
+                        )
+                if self._eventlog is not None:
+                    self._eventlog.append(
+                        unsubscribe_record(
+                            query_id,
+                            subscriber=self._durable_owners.get(query_id),
+                        )
+                    )
+                    self._appended_since_checkpoint += 1
+                    self._registry.record_unsubscribe(query_id)
+                    self._durable_owners.pop(query_id, None)
                 await self._call_engine(self._facade.unsubscribe, query_id)
                 self._owners.pop(query_id, None)
                 if owner is not None:
                     owner.queries.discard(query_id)
                 result = None
+            elif item.kind == "resume":
+                result = await self._resume(item.session, item.args)
+            elif item.kind == "eventlog_checkpoint":
+                result = await self._write_eventlog_checkpoint()
             elif item.kind == "results":
                 if self._injector is not None:
                     self._injector.fire("engine.results")
@@ -793,7 +1111,7 @@ class ServerRuntime:
             prepared.append((item, doc_id, timestamp))
             self._accepted += 1
 
-        def _build_and_publish():
+        def _build_documents():
             documents = []
             for publish_item, doc_id, timestamp in prepared:
                 if publish_item.tokens is not None:
@@ -811,15 +1129,51 @@ class ServerRuntime:
                             doc_id, publish_item.text, timestamp
                         )
                     )
+            return documents
+
+        def _build_and_publish():
+            documents = _build_documents()
             return documents, self._facade.publish_batch(documents)
 
+        offsets: Optional[Dict[int, int]] = None
         try:
-            if self._injector is not None:
-                self._injector.fire("engine.publish_batch")
-            batch_started = self._now()
-            documents, notifications = await self._call_engine(
-                _build_and_publish
-            )
+            if self._eventlog is None:
+                if self._injector is not None:
+                    self._injector.fire("engine.publish_batch")
+                batch_started = self._now()
+                documents, notifications = await self._call_engine(
+                    _build_and_publish
+                )
+            else:
+                # WAL discipline: documents are built on the loop and
+                # their records are durable *before* the engine matches
+                # them.  One append_many call = one fsync for the batch.
+                documents = _build_documents()
+                append_started = self._now()
+                assigned = self._eventlog.append_many(
+                    [
+                        publish_record(document_payload(document))
+                        for document in documents
+                    ]
+                )
+                self._pipeline["eventlog_append"].observe(
+                    max(0.0, self._now() - append_started)
+                )
+                self._appended_since_checkpoint += len(assigned)
+                offsets = {
+                    document.doc_id: offset
+                    for document, offset in zip(documents, assigned)
+                }
+                # The post-append / pre-match crash window: a fault here
+                # loses nothing — the records are durable and recovery
+                # replays them (at-least-once for in-doubt publishes).
+                if self._injector is not None:
+                    self._injector.fire("eventlog.match")
+                    self._injector.fire("engine.publish_batch")
+                batch_started = self._now()
+                notifications = await self._call_engine(
+                    self._facade.publish_batch, documents
+                )
             self._pipeline["micro_batch"].observe(
                 max(0.0, self._now() - batch_started)
             )
@@ -832,7 +1186,7 @@ class ServerRuntime:
         self._published += len(documents)
         notify_started = self._now()
         try:
-            await self._route(notifications)
+            await self._route(notifications, offsets)
         except Exception:
             # Delivery failures must not fail the publish acks: the
             # documents *are* in the engine.  Count and move on.
@@ -843,18 +1197,43 @@ class ServerRuntime:
             )
         for publish_item, doc_id, timestamp in prepared:
             if not publish_item.future.done():
-                publish_item.future.set_result(
-                    {"doc_id": doc_id, "created_at": timestamp}
-                )
+                ack: Dict[str, Any] = {
+                    "doc_id": doc_id,
+                    "created_at": timestamp,
+                }
+                if offsets is not None:
+                    ack["offset"] = offsets[doc_id]
+                publish_item.future.set_result(ack)
 
-    async def _route(self, notifications: List[Notification]) -> None:
+    async def _route(
+        self,
+        notifications: List[Notification],
+        offsets: Optional[Dict[int, int]] = None,
+    ) -> None:
         """Fan notifications out to their owning sessions.
 
         Coalescing sessions receive one result-set snapshot per touched
-        query per batch instead of per-change notifications.
+        query per batch instead of per-change notifications.  With the
+        event log enabled (``offsets`` maps doc id -> global offset),
+        every notification for a durable subscriber is also retained in
+        its outbox until acked — whether or not it is attached.
         """
         touched: Dict[int, List[int]] = {}
         for notification in notifications:
+            offset = (
+                offsets.get(notification.document.doc_id)
+                if offsets is not None
+                else None
+            )
+            if offset is not None and self._registry is not None:
+                name = self._durable_owners.get(notification.query_id)
+                if name is not None:
+                    self._registry.offer(
+                        name,
+                        offset,
+                        notification.query_id,
+                        notification_payload(notification, offset=offset),
+                    )
             session = self._owners.get(notification.query_id)
             if session is None or session.closed:
                 continue
@@ -864,8 +1243,13 @@ class ServerRuntime:
                     queries.append(notification.query_id)
                 continue
             delivered = await session.offer(
-                notification_payload(notification), notification.query_id
+                notification_payload(notification, offset=offset),
+                notification.query_id,
             )
+            if delivered and offset is not None:
+                session.delivered_offset = max(
+                    session.delivered_offset, offset
+                )
             if not delivered and session.closed:
                 await self._disconnect_session(session)
         for session_id, query_ids in touched.items():
@@ -888,17 +1272,39 @@ class ServerRuntime:
                     break
 
     async def _disconnect_session(self, session: SubscriberSession) -> None:
-        """A slow-consumer disconnect: drop its subscriptions and retire."""
+        """A slow-consumer disconnect: drop its subscriptions and retire.
+
+        Durable subscribers detach instead — the outage is exactly what
+        their retained outbox exists for.
+        """
         if session.session_id not in self._sessions:
             return
         self._disconnects += 1
-        await self._retire_queries(session)
+        if session.subscriber is not None:
+            self._detach_subscriber(session)
+        else:
+            await self._retire_queries(session)
         self._remove_session(session)
 
     async def _retire_queries(self, session: SubscriberSession) -> None:
-        """Unsubscribe every query a closing session owns (matcher ctx)."""
+        """Unsubscribe every query a closing session owns (matcher ctx).
+
+        With the event log enabled each retirement is logged first, so
+        recovery does not resurrect queries whose anonymous owner is
+        gone.
+        """
         for query_id in list(session.queries):
             if self._owners.get(query_id) is session:
+                if self._eventlog is not None:
+                    self._eventlog.append(
+                        unsubscribe_record(
+                            query_id,
+                            subscriber=self._durable_owners.get(query_id),
+                        )
+                    )
+                    self._appended_since_checkpoint += 1
+                    self._registry.record_unsubscribe(query_id)
+                    self._durable_owners.pop(query_id, None)
                 try:
                     await self._call_engine(
                         self._facade.unsubscribe, query_id
@@ -907,6 +1313,100 @@ class ServerRuntime:
                     pass
                 self._owners.pop(query_id, None)
         session.queries.clear()
+
+    # -- durability tier (DESIGN.md §14) -----------------------------------
+
+    async def _resume(
+        self, session: SubscriberSession, args: Tuple[str, Optional[int]]
+    ) -> Dict[str, Any]:
+        """Matcher-side ``resume``: attach, restore ownership, replay.
+
+        Runs behind the batch barrier, so every notification generated
+        before this point is either in the replayed outbox suffix or
+        below the resume offset — the client's stream has no gap and no
+        duplicate at the splice point.
+        """
+        name, offset = args
+        state = self._registry.get_or_create(name)
+        if state.session_id is not None and state.session_id != session.session_id:
+            live = self._sessions.get(state.session_id)
+            if live is not None and not live.closed:
+                raise ReproError(
+                    f"subscriber {name!r} is already attached to another "
+                    f"session"
+                )
+        if session.subscriber is not None and session.subscriber != name:
+            raise ReproError(
+                f"session already resumed as {session.subscriber!r}"
+            )
+        self._registry.attach(name, session.session_id)
+        session.subscriber = name
+        for query_id in state.queries:
+            self._owners[query_id] = session
+            session.queries.add(query_id)
+            self._durable_owners[query_id] = name
+        if offset is not None and offset >= 0:
+            self._eventlog.append(ack_record(name, int(offset)))
+            self._appended_since_checkpoint += 1
+            self._registry.ack(name, int(offset))
+            session.acked_offset = max(session.acked_offset, int(offset))
+        replayed = 0
+        for entry in self._registry.pending(name, offset):
+            delivered = await session.offer(
+                dict(entry["payload"]), entry["query_id"]
+            )
+            if not delivered:
+                break
+            replayed += 1
+            session.delivered_offset = max(
+                session.delivered_offset, entry["offset"]
+            )
+        return {
+            "subscriber": name,
+            "acked": state.acked,
+            "queries": sorted(state.queries),
+            "replayed": replayed,
+        }
+
+    async def _maybe_checkpoint(self) -> None:
+        """Auto-checkpoint after every N appended records (matcher ctx).
+
+        A failed checkpoint (including an injected ``checkpoint.write``
+        fault) is counted, never fatal: the log still holds everything,
+        recovery just replays a longer suffix.
+        """
+        every = self._config.eventlog_checkpoint_every
+        if every <= 0 or self._appended_since_checkpoint < every:
+            return
+        try:
+            await self._write_eventlog_checkpoint()
+        except Exception:
+            self._checkpoint_errors += 1
+            self._appended_since_checkpoint = 0
+
+    async def _write_eventlog_checkpoint(self) -> Dict[str, Any]:
+        """Checkpoint engine + registry at the current log end, then
+        drop the log segments the checkpoint made redundant."""
+        offset = self._eventlog.end
+        engine_payload = await self._call_engine(
+            engine_checkpoint, self._facade.engine
+        )
+        write_checkpoint(
+            self._config.eventlog_dir,
+            offset,
+            engine_payload,
+            self._registry.snapshot(),
+            injector=self._injector,
+        )
+        self._eventlog.truncate_to(offset)
+        self._checkpoint_offset = offset
+        self._appended_since_checkpoint = 0
+        self._checkpoints_written += 1
+        return {
+            "offset": offset,
+            "checkpoints": self._checkpoints_written,
+            "log_base": self._eventlog.base,
+        }
 
     # -- cluster node ops (DESIGN.md §13) ----------------------------------
 

@@ -54,6 +54,14 @@ class SubscriberSession:
         self.policy = policy
         #: Query ids owned (subscribed) by this session.
         self.queries: Set[int] = set()
+        #: Durable subscriber name this session resumed as (eventlog
+        #: tier); None for anonymous sessions whose queries retire with
+        #: the connection.
+        self.subscriber: Optional[str] = None
+        #: Highest event-log offset enqueued to this session (-1 = none).
+        self.delivered_offset = -1
+        #: Highest offset the client explicitly acked on this session.
+        self.acked_offset = -1
         self._items: Deque[List[Any]] = deque()
         #: coalesce only: query id -> its still-queued entry.
         self._pending: Dict[int, List[Any]] = {}
@@ -200,6 +208,9 @@ class SubscriberSession:
             "closed": self.closed,
             "close_reason": self.close_reason,
             "stalled": self.stalled,
+            "subscriber": self.subscriber,
+            "delivered_offset": self.delivered_offset,
+            "acked_offset": self.acked_offset,
         }
 
     def __repr__(self) -> str:

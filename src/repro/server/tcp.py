@@ -253,6 +253,15 @@ class NdjsonTcpClient:
     the old->new mapping is exposed as ``resubscriptions`` and the
     ``reconnects``/``resubscribed`` counters in
     :meth:`connection_stats`.
+
+    The resubscribe path is inherently lossy: fresh query ids, and every
+    notification generated during the outage is gone.  Against a server
+    running the durability tier, pass ``subscriber="name"`` (or call
+    :meth:`resume` once) instead: after each reconnect the client issues
+    a ``resume`` carrying the highest event-log offset it has seen, the
+    server re-attaches the *same* query ids, and the retained
+    notifications from the outage window are replayed in order — no loss
+    and no duplicates.
     """
 
     def __init__(
@@ -266,6 +275,7 @@ class NdjsonTcpClient:
         backoff_max: float = 2.0,
         max_retries: int = 6,
         jitter_seed: int = 0,
+        subscriber: Optional[str] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -286,10 +296,21 @@ class NdjsonTcpClient:
         #: verbatim after a reconnect).
         self._subscriptions: Dict[int, Dict[str, Any]] = {}
         self._resub_task: Optional[asyncio.Task] = None
+        #: Durable subscriber identity; set via the option or resume().
+        self._subscriber = subscriber
+        #: Highest event-log offset observed on any push or resume reply.
+        self.last_offset = -1
         self.reconnects = 0
         self.resubscribed = 0
+        self.resumed = 0
         self.resubscriptions: Dict[int, int] = {}
         self._reader_task = asyncio.create_task(self._read_loop())
+        if subscriber is not None:
+            # Attach on first use: the initial resume rides the same
+            # task machinery as the post-reconnect ones.
+            self._resub_task = asyncio.create_task(
+                self._resume_after_reconnect()
+            )
 
     @classmethod
     async def connect(
@@ -330,6 +351,9 @@ class NdjsonTcpClient:
                     if future is not None and not future.done():
                         future.set_result(payload)
                 else:
+                    offset = payload.get("offset")
+                    if isinstance(offset, int) and offset > self.last_offset:
+                        self.last_offset = offset
                     await self._messages.put(payload)
         finally:
             self._connected.set()
@@ -376,7 +400,13 @@ class NdjsonTcpClient:
             self._writer = writer
             self.reconnects += 1
             self._connected.set()
-            if self._subscriptions:
+            if self._subscriber is not None:
+                # Durable identity: splice the stream back together via
+                # resume instead of lossy fresh-id resubscription.
+                self._resub_task = asyncio.create_task(
+                    self._resume_after_reconnect()
+                )
+            elif self._subscriptions:
                 self._resub_task = asyncio.create_task(self._resubscribe())
             return True
         # Retries exhausted: give up for good.  Waking the waiters is
@@ -384,6 +414,21 @@ class NdjsonTcpClient:
         self._closed = True
         self._connected.set()
         return False
+
+    async def _resume_after_reconnect(self) -> None:
+        """Re-attach the durable subscriber on the fresh connection.
+
+        Carries ``last_offset`` so the server acks everything already
+        seen and replays exactly the outage window — the notification
+        stream continues with the original query ids, gap- and
+        duplicate-free.
+        """
+        try:
+            await self.resume(self._subscriber)
+        except Exception:
+            # Connection dropped again or the server refused; the next
+            # reconnect pass retries.
+            return
 
     async def _resubscribe(self) -> None:
         """Re-issue tracked subscriptions on the fresh connection."""
@@ -436,6 +481,9 @@ class NdjsonTcpClient:
             "connected": self._connected.is_set() and not self._closed,
             "closed": self._closed,
             "tracked_subscriptions": len(self._subscriptions),
+            "subscriber": self._subscriber,
+            "resumed": self.resumed,
+            "last_offset": self.last_offset,
         }
 
     def abort_connection(self) -> None:
@@ -484,6 +532,38 @@ class NdjsonTcpClient:
             payload["text"] = text
         if created_at is not None:
             payload["created_at"] = created_at
+        return await self.request(payload)
+
+    async def resume(
+        self, subscriber: str, offset: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Attach this connection to a durable subscriber identity.
+
+        ``offset`` defaults to the highest offset this client has seen
+        (acking it server-side); pass ``-1`` to replay every retained
+        notification instead.
+        """
+        if offset is None and self.last_offset >= 0:
+            offset = self.last_offset
+        payload: Dict[str, Any] = {"op": "resume", "subscriber": subscriber}
+        if offset is not None and offset >= 0:
+            payload["offset"] = offset
+        reply = await self.request(payload)
+        self._subscriber = subscriber
+        self.resumed += 1
+        return reply
+
+    async def ack(self, offset: Optional[int] = None) -> Dict[str, Any]:
+        """Confirm delivery up to ``offset`` (default: all seen)."""
+        if offset is None:
+            offset = self.last_offset
+        return await self.request({"op": "ack", "offset": int(offset)})
+
+    async def dlq(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """Inspect the server's dead-letter queue."""
+        payload: Dict[str, Any] = {"op": "dlq"}
+        if limit is not None:
+            payload["limit"] = limit
         return await self.request(payload)
 
     async def results(self, query_id: int) -> List[Dict[str, Any]]:

@@ -29,6 +29,7 @@ from repro.simulation.invariants import (
     InvariantViolation,
 )
 from repro.simulation.cluster import run_cluster_crash_suite
+from repro.simulation.eventlog import run_kill9_suite
 from repro.simulation.parallel import run_parallel_crash_suite
 
 __all__ = [
@@ -48,5 +49,6 @@ __all__ = [
     "generate_schedule",
     "run_cluster_crash_suite",
     "run_default_suite",
+    "run_kill9_suite",
     "run_parallel_crash_suite",
 ]

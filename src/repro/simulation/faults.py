@@ -45,6 +45,10 @@ INJECTION_POINTS = (
     "node.fault",  # cluster harness: before an op touches the cluster;
     #   kill(shard) SIGKILLs that shard's primary process,
     #   partition(shard) severs the coordinator's connection to it
+    "eventlog.fault",  # EventLog.append_many, before any byte is written;
+    #   torn writes half the first record's line and poisons the handle
+    "eventlog.match",  # matcher, post-append / pre-match — the crash
+    #   window where a logged op has not yet touched the engine
 )
 
 #: Actions that raise InjectedFaultError at the call site.

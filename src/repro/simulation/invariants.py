@@ -29,6 +29,13 @@ accepted operation:
     observation per finished span, and the bounded effectiveness
     ratios stay within [0, 1].  Skipped when the engine carries no
     telemetry.
+``eventlog``
+    The durability tier's offset/DLQ obligations
+    (:meth:`InvariantMonitor.check_eventlog`, takes the serving
+    runtime): log base <= end, the checkpoint never points past the
+    log, retained outboxes hold strictly ascending offsets all above
+    the acked floor, and the dead-letter accounting is consistent
+    with the DLQ segment.
 
 :class:`InstrumentedEngine` wraps a :class:`DasEngine` so the monitor
 sees every document individually (mid-batch) and the ``engine.doc``
@@ -96,6 +103,7 @@ class InvariantMonitor:
             "bounds": 0,
             "oracle": 0,
             "telemetry": 0,
+            "eventlog": 0,
         }
         self._take_telemetry_baseline()
 
@@ -411,6 +419,89 @@ class InvariantMonitor:
                     "telemetry",
                     f"effectiveness ratio {name}={value!r} outside [0, 1]",
                 )
+
+    def check_eventlog(self, runtime) -> None:
+        """Durability-tier invariants of a serving runtime.
+
+        Duck-typed against :class:`~repro.server.runtime.ServerRuntime`
+        (no import — the monitor must not depend on the server layer);
+        a no-op when the runtime has no event log.  Audits:
+
+        * log offsets: ``base <= end`` and the checkpoint offset never
+          points past the log's end;
+        * truncation safety: the base never advanced past the newest
+          checkpoint (every un-checkpointed record is still replayable);
+        * outboxes: strictly ascending offsets, all above the owner's
+          acked floor (no retained entry the subscriber already
+          confirmed);
+        * DLQ: the registry's dead-letter counters never exceed the
+          DLQ segment (every counted entry was durably written) and
+          every entry carries a known reason and sane offset.
+        """
+        log = getattr(runtime, "_eventlog", None)
+        if log is None:
+            return
+        self.checks["eventlog"] += 1
+        if log.base > log.end:
+            self._record(
+                "eventlog", f"log base {log.base} exceeds end {log.end}"
+            )
+        checkpoint = getattr(runtime, "_checkpoint_offset", -1)
+        if checkpoint > log.end:
+            self._record(
+                "eventlog",
+                f"checkpoint offset {checkpoint} is past the log end "
+                f"{log.end}",
+            )
+        if log.base > max(checkpoint, 0):
+            self._record(
+                "eventlog",
+                f"log base {log.base} truncated past the checkpoint "
+                f"offset {checkpoint}",
+            )
+        registry = getattr(runtime, "_registry", None)
+        total_dead = 0
+        if registry is not None:
+            for name in registry.names():
+                state = registry.get(name)
+                total_dead += state.dead_lettered
+                offsets = [entry["offset"] for entry in state.outbox]
+                if any(a >= b for a, b in zip(offsets, offsets[1:])):
+                    self._record(
+                        "eventlog",
+                        f"subscriber {name!r} outbox offsets not strictly "
+                        f"ascending: {offsets}",
+                    )
+                if offsets and offsets[0] <= state.acked:
+                    self._record(
+                        "eventlog",
+                        f"subscriber {name!r} retains offset {offsets[0]} "
+                        f"at or below its acked floor {state.acked}",
+                    )
+        dlq = getattr(runtime, "_dlq", None)
+        if dlq is not None:
+            from repro.eventlog.dlq import DLQ_REASONS
+
+            entries = dlq.entries()
+            if total_dead > len(entries):
+                self._record(
+                    "eventlog",
+                    f"registry counts {total_dead} dead-lettered entries "
+                    f"but the DLQ segment holds only {len(entries)}",
+                )
+            for entry in entries:
+                if entry["reason"] not in DLQ_REASONS:
+                    self._record(
+                        "eventlog",
+                        f"DLQ entry {entry['seq']} has unknown reason "
+                        f"{entry['reason']!r}",
+                    )
+                if entry["offset"] < 0:
+                    self._record(
+                        "eventlog",
+                        f"DLQ entry {entry['seq']} has negative offset "
+                        f"{entry['offset']}",
+                    )
 
     def check_oracle(self) -> None:
         """Every result set equals the naive engine's, id for id."""

@@ -58,7 +58,16 @@ ENGINE_STAGES = (
 )
 
 #: Runtime-side stages measured by the serving pipeline.
-PIPELINE_STAGES = ("ingest_queue", "micro_batch", "notify")
+#: ``eventlog_append`` (WAL append+fsync per micro-batch) and
+#: ``throttle_wait`` (per-publish token-bucket delay) only observe when
+#: the durability tier is enabled.
+PIPELINE_STAGES = (
+    "ingest_queue",
+    "micro_batch",
+    "notify",
+    "eventlog_append",
+    "throttle_wait",
+)
 
 #: Wire-path stages of the process-parallel deployment.  They are *not*
 #: per-publish stages: ``wire_decode`` is observed once per document a

@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
+import os
 import random
+import shutil
 
 import pytest
+
+try:  # Optional: only the property suites need it.
+    from hypothesis import HealthCheck, settings as _hyp_settings
+
+    _hyp_settings.register_profile(
+        "ci",
+        max_examples=60,
+        stateful_step_count=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    _hyp_settings.register_profile(
+        "dev", max_examples=20, stateful_step_count=15, deadline=None
+    )
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis not installed
+    pass
 
 from repro import (
     CollectionStatistics,
@@ -71,6 +90,54 @@ def make_docs():
 @pytest.fixture
 def gifilter_engine():
     return DasEngine.for_method("GIFilter", k=3, block_size=4)
+
+
+@pytest.fixture
+def tmp_eventlog(tmp_path):
+    """A fresh :class:`~repro.eventlog.EventLog` factory on tmp storage.
+
+    Returns ``(directory, open_log)`` where ``open_log(**overrides)``
+    opens (or re-opens — the crash/replay tests rely on it) the same
+    directory; every log opened through it is closed at teardown.
+    """
+    from repro.eventlog import EventLog
+
+    directory = str(tmp_path / "eventlog")
+    os.makedirs(directory, exist_ok=True)
+    opened = []
+
+    def open_log(**overrides):
+        options = dict(fsync="always", segment_entries=4)
+        options.update(overrides)
+        log = EventLog(directory, **options)
+        opened.append(log)
+        return log
+
+    yield directory, open_log
+    for log in opened:
+        try:
+            log.close()
+        except Exception:
+            pass
+
+
+@pytest.fixture
+def eventlog_corpus(tmp_path):
+    """Copy of the golden segment corpus (recovery mutates in place).
+
+    Returns a function mapping a variant name (``clean`` / ``torn_tail``
+    / ``corrupt``) to a private writable copy of that directory.
+    """
+    source = os.path.join(
+        os.path.dirname(__file__), "fixtures", "eventlog_corpus"
+    )
+
+    def variant(name):
+        destination = str(tmp_path / f"corpus-{name}")
+        shutil.copytree(os.path.join(source, name), destination)
+        return destination
+
+    return variant
 
 
 @pytest.fixture

@@ -1,0 +1,770 @@
+"""Durability tier: event log, DLQ, registry, recovery, runtime wiring.
+
+Covers the unit surface of :mod:`repro.eventlog` (segments, rotation,
+torn-tail repair, dead-lettering, subscriber retention, checkpoints)
+and the server integration: resume/ack/dlq ops, replay recovery across
+a runtime restart, ingest throttling, and the stats sections.  The
+golden segment corpus under ``tests/fixtures/eventlog_corpus`` pins the
+on-disk format; crash interleavings live in ``test_crash_matrix.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.config import ServerConfig
+from repro.core.engine import DasEngine
+from repro.errors import ConfigurationError, ReproError
+from repro.eventlog import (
+    DeadLetterQueue,
+    EventLog,
+    SubscriberRegistry,
+    TokenBucket,
+    ack_record,
+    latest_checkpoint,
+    publish_record,
+    read_dlq,
+    recover,
+    segment_name,
+    subscribe_record,
+    unsubscribe_record,
+    validate_record,
+    write_checkpoint,
+)
+from repro.persistence.checkpoint import engine_checkpoint
+from repro.pubsub import PublishSubscribeService
+from repro.server import InProcessClient, ServerRuntime
+from repro.simulation.faults import FaultPlan
+
+
+def run(coroutine, timeout=30.0):
+    """Run an async scenario with a hard deadline (deadlock guard)."""
+    return asyncio.run(asyncio.wait_for(coroutine, timeout))
+
+
+def doc_payload(doc_id, tokens):
+    return {
+        "doc_id": doc_id,
+        "created_at": float(doc_id),
+        "tf": {token: 1 for token in tokens},
+    }
+
+
+def publish(doc_id, tokens=("coffee",)):
+    return publish_record(doc_payload(doc_id, tokens))
+
+
+# -- records ---------------------------------------------------------------
+
+
+def test_validate_record_accepts_every_kind():
+    for record in (
+        publish(0),
+        subscribe_record(3, ["tea"], subscriber="alice"),
+        unsubscribe_record(3),
+        ack_record("alice", 7),
+    ):
+        assert validate_record(record) is record
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "not a dict",
+        {"kind": "mystery"},
+        {"kind": "publish", "doc": None},
+        {"kind": "publish", "doc": {"doc_id": "x", "created_at": 0, "tf": {}}},
+        {"kind": "publish", "doc": {"doc_id": 1, "created_at": 0, "tf": []}},
+        {"kind": "subscribe", "query_id": True, "terms": ["a"]},
+        {"kind": "subscribe", "query_id": 1, "terms": "a"},
+        {"kind": "unsubscribe", "query_id": 1, "subscriber": 9},
+        {"kind": "ack", "subscriber": "a", "offset": "7"},
+        {"kind": "ack", "offset": 7},
+    ],
+)
+def test_validate_record_rejects_malformed(bad):
+    with pytest.raises(ReproError):
+        validate_record(bad)
+
+
+# -- segments --------------------------------------------------------------
+
+
+def test_append_assigns_contiguous_offsets_and_rotates(tmp_eventlog):
+    directory, open_log = tmp_eventlog
+    log = open_log(segment_entries=3)
+    offsets = [log.append(publish(i)) for i in range(7)]
+    assert offsets == list(range(7))
+    assert log.base == 0 and log.end == 7
+    assert log.rotations == 2
+    names = sorted(n for n in os.listdir(directory) if n.endswith(".seg"))
+    assert names == [segment_name(0), segment_name(3), segment_name(6)]
+    assert log.entries_since(5) == [(5, publish(5)), (6, publish(6))]
+
+
+def test_append_many_is_one_durability_unit(tmp_eventlog):
+    _, open_log = tmp_eventlog
+    log = open_log(segment_entries=100)
+    before = log.fsyncs
+    assert log.append_many([publish(i) for i in range(5)]) == list(range(5))
+    assert log.fsyncs == before + 1
+    assert log.append_many([]) == []
+
+
+def test_reopen_recovers_everything(tmp_eventlog):
+    _, open_log = tmp_eventlog
+    log = open_log(segment_entries=3)
+    for i in range(5):
+        log.append(publish(i))
+    log.close()
+    reopened = open_log(segment_entries=3)
+    assert reopened.end == 5
+    assert reopened.recovered == 5
+    assert reopened.append(publish(5)) == 5
+    assert [offset for offset, _ in reopened.entries_since(0)] == list(
+        range(6)
+    )
+
+
+def test_entries_since_below_base_raises(tmp_eventlog):
+    _, open_log = tmp_eventlog
+    log = open_log(segment_entries=2)
+    for i in range(6):
+        log.append(publish(i))
+    assert log.truncate_to(4) == 4
+    assert log.base == 4
+    with pytest.raises(ReproError):
+        log.entries_since(0)
+
+
+def test_truncate_never_deletes_the_active_segment(tmp_eventlog):
+    directory, open_log = tmp_eventlog
+    log = open_log(segment_entries=4)
+    for i in range(6):
+        log.append(publish(i))
+    # Offset 6 covers everything, but entries 4..5 live in the active
+    # segment, so the base only advances to its boundary.
+    assert log.truncate_to(6) == 4
+    assert segment_name(4) in os.listdir(directory)
+
+
+def test_append_validates_before_writing(tmp_eventlog):
+    _, open_log = tmp_eventlog
+    log = open_log()
+    with pytest.raises(ReproError):
+        log.append({"kind": "mystery"})
+    assert log.end == 0
+    log.close()
+    with pytest.raises(ReproError):
+        log.append(publish(0))
+
+
+def test_bad_fsync_policy_and_segment_size_raise(tmp_eventlog):
+    directory, _ = tmp_eventlog
+    with pytest.raises(ReproError):
+        EventLog(directory, fsync="sometimes")
+    with pytest.raises(ReproError):
+        EventLog(directory, segment_entries=0)
+
+
+def test_injected_torn_write_poisons_the_handle(tmp_eventlog):
+    _, open_log = tmp_eventlog
+    injector = FaultPlan.parse("eventlog.fault@2:torn").injector()
+    log = open_log(segment_entries=100, injector=injector)
+    log.append(publish(0))
+    with pytest.raises(ReproError):
+        log.append(publish(1))
+    with pytest.raises(ReproError):
+        log.append(publish(2))  # poisoned until reopen
+    reopened = open_log(segment_entries=100)
+    assert reopened.end == 1  # the half line was truncated away
+    assert reopened.torn_dropped == 1
+    assert reopened.append(publish(1)) == 1
+
+
+def test_segment_gap_is_corruption(tmp_eventlog):
+    directory, open_log = tmp_eventlog
+    log = open_log(segment_entries=2)
+    for i in range(6):
+        log.append(publish(i))
+    log.close()
+    os.remove(os.path.join(directory, segment_name(2)))
+    with pytest.raises(ReproError):
+        open_log(segment_entries=2)
+
+
+# -- golden corpus ---------------------------------------------------------
+
+
+def test_corpus_clean_replays_bytes(eventlog_corpus):
+    log = EventLog(eventlog_corpus("clean"), fsync="never")
+    entries = log.entries_since(0)
+    assert [offset for offset, _ in entries] == list(range(10))
+    kinds = [record["kind"] for _, record in entries]
+    assert kinds == (
+        ["subscribe"] * 2 + ["publish"] * 6 + ["ack", "unsubscribe"]
+    )
+    assert entries[0][1]["subscriber"] == "alice"
+    assert log.torn_dropped == 0
+    log.close()
+
+
+def test_corpus_torn_tail_is_truncated_and_appendable(eventlog_corpus):
+    directory = eventlog_corpus("torn_tail")
+    log = EventLog(directory, fsync="never", segment_entries=4)
+    assert log.end == 10
+    assert log.torn_dropped == 1
+    assert log.append(publish(99)) == 10
+    log.close()
+    # The repair is physical: a second scan sees a clean history.
+    again = EventLog(directory, fsync="never", segment_entries=4)
+    assert again.torn_dropped == 0 and again.end == 11
+    again.close()
+
+
+def test_corpus_corrupt_middle_raises(eventlog_corpus):
+    with pytest.raises(ReproError):
+        EventLog(eventlog_corpus("corrupt"), fsync="never")
+
+
+# -- DLQ -------------------------------------------------------------------
+
+
+def test_dlq_appends_and_reads_back(tmp_path):
+    directory = str(tmp_path)
+    dlq = DeadLetterQueue(directory)
+    dlq.add("alice", 4, 0, {"op": "notify"}, "overflow", 1)
+    dlq.add("bob", 9, 2, {"op": "notify"}, "redelivery_exhausted", 4)
+    assert len(dlq) == 2
+    assert dlq.entries(1)[0]["subscriber"] == "bob"
+    assert dlq.stats() == {
+        "entries": 2,
+        "by_reason": {"overflow": 1, "redelivery_exhausted": 1},
+        "by_subscriber": {"alice": 1, "bob": 1},
+    }
+    dlq.close()
+    offline = read_dlq(directory)
+    assert [entry["seq"] for entry in offline] == [0, 1]
+    # A torn tail is dropped, not fatal.
+    with open(dlq.path, "ab") as handle:
+        handle.write(b'{"seq": 2, "subscr')
+    assert len(read_dlq(directory)) == 2
+    reopened = DeadLetterQueue(directory)
+    assert len(reopened) == 2
+    reopened.close()
+
+
+def test_read_dlq_missing_file_is_empty(tmp_path):
+    assert read_dlq(str(tmp_path)) == []
+
+
+# -- subscriber registry ---------------------------------------------------
+
+
+def test_registry_offer_ack_pending_cycle():
+    registry = SubscriberRegistry(outbox_capacity=8, max_attempts=3)
+    registry.record_subscribe("alice", 0, ["coffee"])
+    assert registry.owner_of(0) == "alice"
+    for offset in range(4):
+        registry.offer("alice", offset, 0, {"offset": offset})
+    assert registry.ack("alice", 1) == 2
+    replay = registry.pending("alice")
+    assert [entry["offset"] for entry in replay] == [2, 3]
+    # Offers at or below the acked floor are no-ops (replay idempotence).
+    registry.offer("alice", 1, 0, {"offset": 1})
+    assert len(registry.get("alice").outbox) == 2
+    registry.record_unsubscribe(0)
+    assert registry.owner_of(0) is None
+
+
+def test_registry_redelivery_exhaustion_dead_letters(tmp_path):
+    dlq = DeadLetterQueue(str(tmp_path))
+    registry = SubscriberRegistry(outbox_capacity=8, max_attempts=2, dlq=dlq)
+    registry.offer("alice", 5, 0, {"offset": 5})
+    assert len(registry.pending("alice")) == 1
+    assert len(registry.pending("alice")) == 1
+    # Third replay exceeds max_attempts=2: dead-lettered, not returned.
+    assert registry.pending("alice") == []
+    assert dlq.entries()[0]["reason"] == "redelivery_exhausted"
+    assert registry.get("alice").dead_lettered == 1
+    dlq.close()
+
+
+def test_registry_overflow_dead_letters_oldest(tmp_path):
+    dlq = DeadLetterQueue(str(tmp_path))
+    registry = SubscriberRegistry(outbox_capacity=2, max_attempts=3, dlq=dlq)
+    for offset in range(3):
+        registry.offer("alice", offset, 0, {"offset": offset})
+    entry = dlq.entries()[0]
+    assert (entry["reason"], entry["offset"]) == ("overflow", 0)
+    assert [e["offset"] for e in registry.get("alice").outbox] == [1, 2]
+    dlq.close()
+
+
+def test_registry_snapshot_load_roundtrip():
+    registry = SubscriberRegistry(outbox_capacity=8, max_attempts=3)
+    registry.record_subscribe("alice", 0, ["coffee"])
+    registry.record_subscribe("alice", 2, ["tea"])
+    registry.offer("alice", 3, 0, {"offset": 3})
+    registry.ack("alice", 1)
+    restored = SubscriberRegistry(outbox_capacity=8, max_attempts=3)
+    restored.load(json.loads(json.dumps(registry.snapshot())))
+    assert restored.snapshot() == registry.snapshot()
+    assert restored.owner_of(2) == "alice"
+
+
+def test_registry_validates_limits():
+    with pytest.raises(ReproError):
+        SubscriberRegistry(outbox_capacity=0)
+    with pytest.raises(ReproError):
+        SubscriberRegistry(max_attempts=0)
+
+
+# -- token bucket ----------------------------------------------------------
+
+
+def test_token_bucket_burst_then_throttle():
+    bucket = TokenBucket(rate=10.0, burst=2)
+    assert bucket.take(0.0) == 0.0
+    assert bucket.take(0.0) == 0.0
+    wait = bucket.take(0.0)
+    assert wait > 0.0
+    # After the advertised wait a token is available again.
+    assert bucket.take(wait) == 0.0
+    assert bucket.snapshot()["rate"] == 10.0
+
+
+# -- checkpoints + recovery ------------------------------------------------
+
+
+def _engine():
+    return DasEngine.for_method("GIFilter", k=2, block_size=4)
+
+
+def test_recover_empty_directory(tmp_path):
+    state = recover(str(tmp_path / "log"), _engine())
+    assert state.checkpoint_offset == -1
+    assert state.replayed == 0 and state.replay_errors == []
+    state.log.close()
+
+
+def test_recover_replays_log_into_engine_and_outbox(tmp_eventlog):
+    directory, open_log = tmp_eventlog
+    log = open_log(segment_entries=100)
+    log.append(subscribe_record(0, ["coffee"], subscriber="alice"))
+    log.append(publish(0, ("coffee", "beans")))
+    log.append(publish(1, ("tea",)))
+    log.close()
+    state = recover(directory, _engine())
+    assert state.replayed == 3
+    assert [d.doc_id for d in state.engine.results(0)] == [0]
+    pending = state.registry.pending("alice")
+    assert [(e["offset"], e["query_id"]) for e in pending] == [(1, 0)]
+    assert pending[0]["payload"]["document"]["doc_id"] == 0
+    state.log.close()
+
+
+def test_recover_is_idempotent(tmp_eventlog):
+    directory, open_log = tmp_eventlog
+    log = open_log(segment_entries=100)
+    log.append(subscribe_record(0, ["coffee"], subscriber="alice"))
+    for i in range(4):
+        log.append(publish(i, ("coffee",)))
+    log.append(ack_record("alice", 2))
+    log.close()
+    first = recover(directory, _engine())
+    first.log.close()
+    second = recover(directory, _engine())
+    assert second.registry.snapshot() == first.registry.snapshot()
+    assert [d.doc_id for d in second.engine.results(0)] == [
+        d.doc_id for d in first.engine.results(0)
+    ]
+    second.log.close()
+
+
+def test_checkpoint_replaces_replay_and_prunes(tmp_eventlog):
+    directory, open_log = tmp_eventlog
+    log = open_log(segment_entries=2)
+    engine = _engine()
+    registry = SubscriberRegistry()
+    log.append(subscribe_record(0, ["coffee"], subscriber="alice"))
+    from repro.core.query import DasQuery
+
+    engine.subscribe(DasQuery(0, ["coffee"]))
+    registry.record_subscribe("alice", 0, ["coffee"])
+    for i in range(5):
+        log.append(publish(i, ("coffee",)))
+        from repro.server.protocol import document_from_payload
+
+        engine.publish_batch([document_from_payload(doc_payload(i, ("coffee",)))])
+    for offset in (2, 4, 6):
+        write_checkpoint(
+            directory,
+            offset,
+            engine_checkpoint(engine),
+            registry.snapshot(),
+            keep=2,
+        )
+    names = [n for n in os.listdir(directory) if n.startswith("checkpoint-")]
+    assert len(names) == 2  # keep=2 pruned the oldest
+    assert latest_checkpoint(directory)["offset"] == 6
+    log.truncate_to(6)
+    log.close()
+    state = recover(directory, _engine(), segment_entries=2)
+    assert state.checkpoint_offset == 6
+    assert state.replayed == 0  # nothing above the checkpoint
+    assert sorted(d.doc_id for d in state.engine.results(0)) == [3, 4]
+    state.log.close()
+
+
+def test_recover_detects_truncation_past_checkpoint(tmp_eventlog):
+    directory, open_log = tmp_eventlog
+    log = open_log(segment_entries=2)
+    for i in range(6):
+        log.append(publish(i))
+    log.truncate_to(4)
+    log.close()
+    # No checkpoint covers offsets 0..3: replay would silently fork.
+    with pytest.raises(ReproError):
+        recover(directory, _engine(), segment_entries=2)
+
+
+def test_torn_checkpoint_falls_back_to_previous(tmp_eventlog):
+    directory, open_log = tmp_eventlog
+    open_log(segment_entries=100).append(
+        subscribe_record(0, ["coffee"], subscriber="alice")
+    )
+    engine = _engine()
+    registry = SubscriberRegistry()
+    write_checkpoint(
+        directory, 1, engine_checkpoint(engine), registry.snapshot()
+    )
+    injector = FaultPlan.parse("checkpoint.write@1:torn").injector()
+    with pytest.raises(Exception):
+        write_checkpoint(
+            directory,
+            5,
+            engine_checkpoint(engine),
+            registry.snapshot(),
+            injector=injector,
+        )
+    assert latest_checkpoint(directory)["offset"] == 1
+
+
+# -- server runtime integration --------------------------------------------
+
+
+def small_engine():
+    return DasEngine.for_method("GIFilter", k=3, block_size=4, backend="python")
+
+
+def eventlog_config(directory, **overrides):
+    options = dict(
+        inline_matcher=True,
+        eventlog_dir=directory,
+        eventlog_segment_entries=4,
+        outbound_capacity=256,
+    )
+    options.update(overrides)
+    return ServerConfig(**options)
+
+
+async def drain(client, count, timeout=5.0):
+    messages = []
+    for _ in range(count):
+        messages.append(await client.next_message(timeout=timeout))
+    return messages
+
+
+def test_runtime_resume_ack_dlq_ops(tmp_path):
+    directory = str(tmp_path / "log")
+
+    async def scenario():
+        runtime = ServerRuntime(small_engine(), eventlog_config(directory))
+        await runtime.start()
+        client = InProcessClient(runtime)
+        attach = await client.resume("alice", -1)
+        assert attach["subscriber"] == "alice"
+        assert attach["acked"] == -1
+        assert attach["queries"] == [] and attach["replayed"] == 0
+        sub = await client.subscribe(["coffee"])
+        ack = await client.publish(tokens=["coffee", "beans"], created_at=1.0)
+        assert ack["offset"] == 1  # offset 0 was the subscribe
+        note = (await drain(client, 1))[0]
+        assert note["op"] == "notify"
+        assert note["offset"] == 1
+        assert note["query_id"] == sub["query_id"]
+        acked = await client.ack(1)
+        assert acked["trimmed"] == 1
+        stats = await client.stats()
+        assert stats["eventlog"]["end"] == 3  # subscribe, publish, ack
+        assert stats["dlq"]["entries"] == 0
+        names = [s["name"] for s in stats["subscribers"]["subscribers"]]
+        assert names == ["alice"]
+        report = await client.dlq()
+        assert report["enabled"] and report["entries"] == []
+        await client.close()
+        await runtime.stop()
+
+    run(scenario())
+
+
+def test_runtime_restart_replays_and_resumes_catchup(tmp_path):
+    directory = str(tmp_path / "log")
+
+    async def before():
+        runtime = ServerRuntime(small_engine(), eventlog_config(directory))
+        await runtime.start()
+        client = InProcessClient(runtime)
+        await client.resume("alice", -1)
+        sub = await client.subscribe(["coffee"])
+        await client.publish(tokens=["coffee"], created_at=1.0)
+        note = (await drain(client, 1))[0]
+        await client.ack(note["offset"])
+        # Generated but never delivered to a live session: alice is
+        # detached when the "crash" happens.
+        await client.close()
+        await InProcessClient(runtime).publish(
+            tokens=["coffee", "fresh"], created_at=2.0
+        )
+        await runtime.stop(drain=False)
+        return sub["query_id"], note["offset"]
+
+    query_id, acked_offset = run(before())
+
+    async def after():
+        runtime = ServerRuntime(small_engine(), eventlog_config(directory))
+        await runtime.start()
+        stats = await InProcessClient(runtime).stats()
+        assert stats["eventlog"]["recovery"]["replayed"] >= 4
+        client = InProcessClient(runtime)
+        resumed = await client.resume("alice")
+        assert resumed["queries"] == [query_id]
+        assert resumed["acked"] == acked_offset
+        assert resumed["replayed"] == 1
+        missed = (await drain(client, 1))[0]
+        assert missed["offset"] > acked_offset
+        assert missed["document"]["doc_id"] == 1
+        # The stream continues live on the same query id.
+        await client.publish(tokens=["coffee", "again"], created_at=3.0)
+        live = (await drain(client, 1))[0]
+        assert live["query_id"] == query_id
+        assert live["offset"] > missed["offset"]
+        await client.close()
+        await runtime.stop()
+
+    run(after())
+
+
+def test_runtime_resume_conflicts(tmp_path):
+    directory = str(tmp_path / "log")
+
+    async def scenario():
+        runtime = ServerRuntime(small_engine(), eventlog_config(directory))
+        await runtime.start()
+        first = InProcessClient(runtime)
+        await first.resume("alice")
+        second = InProcessClient(runtime)
+        with pytest.raises(ReproError):
+            await second.resume("alice")  # still attached elsewhere
+        with pytest.raises(ReproError):
+            await first.resume("bob")  # one identity per session
+        await first.close()
+        taken_over = await second.resume("alice")  # detached now: fine
+        assert taken_over["subscriber"] == "alice"
+        await second.close()
+        await runtime.stop()
+
+    run(scenario())
+
+
+def test_runtime_overflow_lands_in_dlq(tmp_path):
+    directory = str(tmp_path / "log")
+
+    async def scenario():
+        runtime = ServerRuntime(
+            small_engine(),
+            eventlog_config(directory, outbox_capacity=2),
+        )
+        await runtime.start()
+        client = InProcessClient(runtime)
+        await client.resume("alice", -1)
+        await client.subscribe(["coffee"])
+        await client.close()  # detach: everything buffers in the outbox
+        publisher = InProcessClient(runtime)
+        for i in range(4):
+            await publisher.publish(
+                tokens=["coffee", f"u{i}"], created_at=float(i)
+            )
+        report = await publisher.dlq()
+        overflowed = report["stats"]["by_reason"].get("overflow", 0)
+        assert overflowed >= 1
+        assert all(e["reason"] == "overflow" for e in report["entries"])
+        stats = await publisher.stats()
+        assert stats["dlq"]["entries"] == overflowed
+        await publisher.close()
+        await runtime.stop()
+        # The DLQ segment is inspectable offline (the `dlq` CLI path).
+        assert len(read_dlq(directory)) == overflowed
+
+    run(scenario())
+
+
+def test_runtime_throttling_counts_and_stats(tmp_path):
+    directory = str(tmp_path / "log")
+
+    async def scenario():
+        runtime = ServerRuntime(
+            small_engine(),
+            eventlog_config(
+                directory, throttle_rate=200.0, throttle_burst=1
+            ),
+        )
+        await runtime.start()
+        client = InProcessClient(runtime)
+        for i in range(4):
+            await client.publish(tokens=["coffee"], created_at=float(i))
+        stats = await client.stats()
+        throttling = stats["throttling"]
+        assert throttling["rate"] == 200.0
+        assert throttling["throttled_publishes"] >= 1
+        assert throttling["total_wait"] > 0.0
+        await client.close()
+        await runtime.stop()
+
+    run(scenario())
+
+
+def test_runtime_checkpoint_op_truncates_log(tmp_path):
+    directory = str(tmp_path / "log")
+
+    async def scenario():
+        runtime = ServerRuntime(small_engine(), eventlog_config(directory))
+        await runtime.start()
+        client = InProcessClient(runtime)
+        await client.resume("alice", -1)
+        await client.subscribe(["coffee"])
+        for i in range(8):
+            await client.publish(tokens=["coffee"], created_at=float(i))
+        result = await runtime.checkpoint_eventlog()
+        assert result["offset"] == 9
+        assert result["log_base"] == 8  # whole segments below only
+        stats = await client.stats()
+        assert stats["eventlog"]["checkpoint_offset"] == 9
+        await client.close()
+        await runtime.stop()
+
+    run(scenario())
+
+    async def after():
+        runtime = ServerRuntime(small_engine(), eventlog_config(directory))
+        await runtime.start()
+        client = InProcessClient(runtime)
+        stats = await client.stats()
+        assert stats["eventlog"]["recovery"]["checkpoint_offset"] == 9
+        resumed = await client.resume("alice")
+        assert resumed["queries"]  # ownership survived via the checkpoint
+        await client.close()
+        await runtime.stop()
+
+    run(after())
+
+
+def test_runtime_periodic_checkpointing(tmp_path):
+    directory = str(tmp_path / "log")
+
+    async def scenario():
+        runtime = ServerRuntime(
+            small_engine(),
+            eventlog_config(directory, eventlog_checkpoint_every=3),
+        )
+        await runtime.start()
+        client = InProcessClient(runtime)
+        for i in range(7):
+            await client.publish(tokens=["coffee"], created_at=float(i))
+        stats = await client.stats()
+        assert stats["eventlog"]["checkpoints_written"] >= 2
+        assert stats["eventlog"]["checkpoint_offset"] >= 6
+        await client.close()
+        await runtime.stop()
+
+    run(scenario())
+
+
+def test_runtime_anonymous_queries_retire_in_log(tmp_path):
+    directory = str(tmp_path / "log")
+
+    async def scenario():
+        runtime = ServerRuntime(small_engine(), eventlog_config(directory))
+        await runtime.start()
+        client = InProcessClient(runtime)
+        sub = await client.subscribe(["coffee"])
+        await client.close()  # anonymous: the query retires with it
+        await runtime.stop()
+        return sub["query_id"]
+
+    query_id = run(scenario())
+
+    async def after():
+        runtime = ServerRuntime(small_engine(), eventlog_config(directory))
+        await runtime.start()
+        client = InProcessClient(runtime)
+        with pytest.raises(ReproError):
+            await client.results(query_id)  # not resurrected by replay
+        await client.close()
+        await runtime.stop()
+
+    run(after())
+
+
+def test_eventlog_requires_checkpointable_engine(tmp_path):
+    directory = str(tmp_path / "log")
+
+    async def scenario():
+        runtime = ServerRuntime(
+            PublishSubscribeService(small_engine()),
+            eventlog_config(directory),
+        )
+        with pytest.raises(ConfigurationError):
+            await runtime.start()
+
+    run(scenario())
+
+
+def test_resume_requires_eventlog(tmp_path):
+    async def scenario():
+        runtime = ServerRuntime(
+            small_engine(), ServerConfig(inline_matcher=True)
+        )
+        await runtime.start()
+        client = InProcessClient(runtime)
+        with pytest.raises(ReproError):
+            await client.resume("alice")
+        with pytest.raises(ReproError):
+            await client.ack(0)
+        report = await client.dlq()  # inspectable even when disabled
+        assert report["enabled"] is False and report["entries"] == []
+        stats = await client.stats()
+        assert stats["eventlog"] is None
+        assert stats["throttling"] is None
+        await client.close()
+        await runtime.stop()
+
+    run(scenario())
+
+
+def test_config_validates_durability_fields(tmp_path):
+    with pytest.raises(ConfigurationError):
+        ServerConfig(eventlog_dir=str(tmp_path), eventlog_fsync="sometimes")
+    with pytest.raises(ConfigurationError):
+        ServerConfig(eventlog_dir=str(tmp_path), eventlog_segment_entries=0)
+    with pytest.raises(ConfigurationError):
+        ServerConfig(outbox_capacity=0)
+    with pytest.raises(ConfigurationError):
+        ServerConfig(throttle_rate=-1.0)
+    with pytest.raises(ConfigurationError):
+        ServerConfig(throttle_burst=0)

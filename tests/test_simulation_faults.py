@@ -82,7 +82,9 @@ def test_every_action_is_classified():
     assert "kill" in HARNESS_ACTIONS
     assert "partition" in HARNESS_ACTIONS
     assert "node.fault" in INJECTION_POINTS
-    assert len(INJECTION_POINTS) == 10
+    assert "eventlog.fault" in INJECTION_POINTS
+    assert "eventlog.match" in INJECTION_POINTS
+    assert len(INJECTION_POINTS) == 12
 
 
 # -- injector mechanics --------------------------------------------------

@@ -146,6 +146,76 @@ def test_plain_client_stays_dead_after_disconnect():
     run(scenario())
 
 
+# -- durable resume across reconnect -------------------------------------
+
+
+def test_durable_resume_replays_outage_notifications(tmp_path):
+    """Regression: a reconnecting client used to resubscribe from
+    scratch, silently dropping every notification produced during the
+    outage.  With the event log, the client resumes its durable
+    subscriber identity instead: missed notifications are replayed on
+    the SAME query id, exactly once."""
+
+    async def scenario():
+        runtime, server, host, port = await start_stack(
+            eventlog_dir=str(tmp_path / "eventlog"),
+            eventlog_fsync="always",
+        )
+        client = await NdjsonTcpClient.connect(
+            host, port, reconnect=True, backoff_base=0.01
+        )
+        publisher = await NdjsonTcpClient.connect(host, port)
+        try:
+            await client.resume("alice", -1)
+            query_id = (await client.subscribe(["coffee"]))["query_id"]
+
+            before = await publisher.publish(
+                tokens=["coffee"], created_at=1.0
+            )
+            note = await client.next_message(timeout=10.0)
+            assert note["op"] == "notify"
+            assert note["offset"] == before["offset"]
+            await client.ack(note["offset"])
+
+            client.abort_connection()
+            missed = [
+                await publisher.publish(tokens=["coffee", "x"], created_at=2.0),
+                await publisher.publish(tokens=["coffee", "y"], created_at=3.0),
+            ]
+            await wait_for(
+                lambda: client.connection_stats()["reconnects"] >= 1
+                and client.connection_stats()["resumed"] >= 2
+            )
+            # Durable queries ride resume, not lossy resubscription.
+            assert client.connection_stats()["resubscribed"] == 0
+
+            received = {}
+            while len(received) < len(missed):
+                note = await client.next_message(timeout=10.0)
+                assert note["op"] == "notify"
+                assert note["query_id"] == query_id
+                assert note["offset"] not in received  # exactly once
+                received[note["offset"]] = note
+            assert set(received) == {ack["offset"] for ack in missed}
+            with pytest.raises(asyncio.TimeoutError):
+                await client.next_message(timeout=0.3)
+
+            # The resumed subscription is still live post-reconnect.
+            after = await publisher.publish(
+                tokens=["coffee", "z"], created_at=4.0
+            )
+            note = await client.next_message(timeout=10.0)
+            assert note["query_id"] == query_id
+            assert note["offset"] == after["offset"]
+        finally:
+            await publisher.close()
+            await client.close()
+            await server.stop()
+            await runtime.stop()
+
+    run(scenario())
+
+
 # -- satellite S2: server-side containment -------------------------------
 
 
