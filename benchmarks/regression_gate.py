@@ -55,6 +55,11 @@ def derive_rates(payload: dict) -> Dict[str, float]:
         (server-throughput schema): throughput retention of the TCP
         coordinator path, <= 1 — a drop means the tier got relatively
         more expensive.
+    ``derived.daat_speedup``
+        Flat-prefilter-on over flat-prefilter-off GIFilter throughput
+        on the deep-postings DAAT workload (publish-throughput schema,
+        ISSUE 9) — the batch-wide skip pass must not lose to the scalar
+        loop it accelerates.
     """
     derived: Dict[str, float] = {}
     gifilter = payload.get("results", {}).get("GIFilter")
@@ -62,6 +67,9 @@ def derive_rates(payload: dict) -> Dict[str, float]:
         auto, python = gifilter.get("auto"), gifilter.get("python")
         if auto and python:
             derived["derived.kernel_speedup"] = float(auto) / float(python)
+    daat_speedup = payload.get("daat_speedup")
+    if daat_speedup:
+        derived["derived.daat_speedup"] = float(daat_speedup)
     two_workers = payload.get("parallel_workers", {}).get("2", {})
     speedup = two_workers.get("speedup_vs_inprocess")
     if speedup:

@@ -23,27 +23,64 @@ import os
 import platform
 import time
 
-from benchmarks.common import BENCH_SPEC, write_output
+from benchmarks.common import BENCH_SPEC, bench_scale, write_output
 from repro.experiments.workload import build_workload
 from repro.kernels import numpy_available
 
 #: Timed rounds per variant (after one untimed warm-up round).
 MEASURE_ROUNDS = 2
+#: The DAAT on/off comparison gates a ratio (``daat_speedup``), which is
+#: far more noise-sensitive than the absolute rates above — give it an
+#: extra round.
+DAAT_MEASURE_ROUNDS = 3
 #: Micro-batch size for the ``publish_batch`` variants.
 BATCH_SIZE = 64
 
 METHODS = ("GIFilter", "IFilter", "BIRT", "IRT")
 
+#: Deep-postings workload for the DAAT prefilter comparison (ISSUE 9).
+#: The standard spec's power-law query terms leave ~1 block per postings
+#: list — zero vectorisation width, where the flat prefilter rightly
+#: sits out.  Focusing the query set on 40 trending terms (SQD over 20
+#: topics) with small blocks gives ~9 candidate blocks per document, the
+#: regime the batch-wide skip pass exists for.
+DAAT_SPEC = BENCH_SPEC.evolve(
+    query_set="sqd",
+    n_topics=20,
+    vocab_size=8000,
+    block_size=16,
+    n_history=1200,
+    n_settle=100,
+    n_measure=150,
+)
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_throughput.json")
 
 
-def _round_segments(workload):
-    """Warm-up segment plus MEASURE_ROUNDS fresh 150-doc segments."""
+def _scaled(spec):
+    """Scale the *document* counts by ``REPRO_BENCH_SCALE``.
+
+    Query count and k stay fixed — they set the per-document work, and
+    changing them would make docs/sec incomparable with the committed
+    baselines; fewer documents only shortens the measurement.
+    """
+    scale = bench_scale()
+    if scale == 1.0:
+        return spec
+    return spec.evolve(
+        n_history=max(128, int(spec.n_history * scale)),
+        n_settle=max(16, int(spec.n_settle * scale)),
+        n_measure=max(32, int(spec.n_measure * scale)),
+    )
+
+
+def _round_segments(workload, rounds=MEASURE_ROUNDS):
+    """Warm-up segment plus ``rounds`` fresh measure-sized segments."""
     spec = workload.spec
     segments = [workload.measure]
     next_id = spec.n_history + spec.n_settle + spec.n_measure
-    for _ in range(MEASURE_ROUNDS):
+    for _ in range(rounds):
         segments.append(
             workload.corpus.documents(
                 spec.n_measure, first_id=next_id, start_time=float(next_id)
@@ -85,7 +122,7 @@ def _timed_rounds(engine, segments, batched):
 
 
 def run_throughput_suite():
-    workload = build_workload(BENCH_SPEC)
+    workload = build_workload(_scaled(BENCH_SPEC))
     segments = _round_segments(workload)
     # "auto" is the shape-adaptive backend (ISSUE 4 satellite): python
     # kernels on small blocks, numpy once row counts amortise the
@@ -110,7 +147,61 @@ def run_throughput_suite():
     return results
 
 
-def format_table(results):
+def run_daat_suite():
+    """GIFilter on the deep-postings workload, flat prefilter on vs off.
+
+    Both engines are built from the same materialised workload, then the
+    timed rounds *interleave*: each fresh segment is published to both
+    engines back to back (alternating which goes first), so allocator
+    and cache drift over the run hits both variants equally — the gated
+    quantity is their ratio, which sequential per-variant timing left at
+    the mercy of that drift.  Returns None without numpy (the prefilter
+    cannot engage, there is nothing to compare)."""
+    if not numpy_available():
+        return None
+    workload = build_workload(_scaled(DAAT_SPEC))
+    segments = _round_segments(workload, DAAT_MEASURE_ROUNDS)
+    engines = {}
+    for label, disabled in (("flat_on", None), ("flat_off", "1")):
+        previous = os.environ.pop("REPRO_DISABLE_FLAT_POSTINGS", None)
+        if disabled is not None:
+            os.environ["REPRO_DISABLE_FLAT_POSTINGS"] = disabled
+        try:
+            # The mirror attaches at construction, so the env toggle
+            # must cover the build; publishing reads only the instance.
+            engines[label] = _build_engine(workload, "GIFilter", "auto")
+        finally:
+            os.environ.pop("REPRO_DISABLE_FLAT_POSTINGS", None)
+            if previous is not None:
+                os.environ["REPRO_DISABLE_FLAT_POSTINGS"] = previous
+    rates = {label: [] for label in engines}
+    for index, segment in enumerate(segments):
+        order = list(engines.items())
+        if index % 2:
+            order.reverse()
+        for label, engine in order:
+            gc.collect()
+            start = time.process_time()
+            for offset in range(0, len(segment), BATCH_SIZE):
+                engine.publish_batch(segment[offset : offset + BATCH_SIZE])
+            elapsed = time.process_time() - start
+            if index == 0:
+                continue  # warm-up round
+            rates[label].append(
+                len(segment) / elapsed if elapsed > 0 else 0.0
+            )
+    results = {}
+    for label, engine in engines.items():
+        results[label] = {
+            "docs_per_sec": max(rates[label]),
+            "rounds": [round(rate, 1) for rate in rates[label]],
+            "flat_skip_blocks": engine.counters.flat_skips,
+            "candidate_blocks": engine._candidate_blocks(),
+        }
+    return results
+
+
+def format_table(results, daat=None):
     lines = [
         "Publish throughput (docs/sec, best of "
         f"{MEASURE_ROUNDS} process_time rounds, {BENCH_SPEC.n_queries} "
@@ -122,6 +213,19 @@ def format_table(results):
             rounds = ", ".join(f"{rate:.1f}" for rate in record["rounds"])
             lines.append(
                 f"{method:<10} {label:<14} "
+                f"{record['docs_per_sec']:>10.1f}  [{rounds}]"
+            )
+    if daat:
+        lines.append("")
+        lines.append(
+            "DAAT deep-postings workload (GIFilter auto, SQD queries, "
+            f"~{daat['flat_on']['candidate_blocks']} candidate "
+            "blocks/doc)"
+        )
+        for label, record in daat.items():
+            rounds = ", ".join(f"{rate:.1f}" for rate in record["rounds"])
+            lines.append(
+                f"{'GIFilter':<10} {label:<14} "
                 f"{record['docs_per_sec']:>10.1f}  [{rounds}]"
             )
     return "\n".join(lines)
@@ -136,6 +240,17 @@ def test_publish_throughput():
         assert results[method], method
         for label, record in results[method].items():
             assert record["docs_per_sec"] > 0.0, (method, label)
+
+    daat = run_daat_suite()
+    daat_speedup = None
+    if daat is not None:
+        assert daat["flat_on"]["candidate_blocks"] >= 2, (
+            "deep workload no longer engages the flat prefilter"
+        )
+        daat_speedup = (
+            daat["flat_on"]["docs_per_sec"]
+            / daat["flat_off"]["docs_per_sec"]
+        )
 
     gifilter = results["GIFilter"]
     speedup = None
@@ -177,11 +292,29 @@ def test_publish_throughput():
         },
         "gifilter_numpy_vs_python_speedup": speedup,
         "gifilter_auto_vs_python_speedup": auto_speedup,
+        "daat": daat
+        and {
+            "spec": {
+                "query_set": DAAT_SPEC.query_set,
+                "n_topics": DAAT_SPEC.n_topics,
+                "vocab_size": DAAT_SPEC.vocab_size,
+                "block_size": DAAT_SPEC.block_size,
+                "n_history": DAAT_SPEC.n_history,
+                "n_measure": DAAT_SPEC.n_measure,
+            },
+            "results": {
+                label: record["docs_per_sec"]
+                for label, record in daat.items()
+            },
+            "flat_skip_blocks": daat["flat_on"]["flat_skip_blocks"],
+            "candidate_blocks": daat["flat_on"]["candidate_blocks"],
+        },
+        "daat_speedup": daat_speedup,
     }
     with open(JSON_PATH, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    write_output("throughput", format_table(results))
+    write_output("throughput", format_table(results, daat))
 
 
 if __name__ == "__main__":

@@ -48,6 +48,11 @@ from repro.errors import (
     UnknownQueryError,
 )
 from repro.kernels import resolve_backend
+from repro.kernels.adaptive import (
+    DEFAULT_MIN_FLAT_BLOCKS,
+    _env_threshold,
+    choose_flat_commit,
+)
 from repro.metrics.instrumentation import Counters
 from repro.scoring.diversity import diversity_coefficient, dr_score
 from repro.scoring.recency import CachedDecay, ExponentialDecay
@@ -125,6 +130,30 @@ class DasEngine:
         self._kernels_begin_batch = getattr(self._kernels, "begin_batch", None)
         self._init_strategy = init_strategy
         self.counters = counters if counters is not None else Counters()
+        #: Flat postings mirror (ISSUE 9): contiguous per-term arrays so
+        #: the Lemma 7 skip decision runs batch-wide in one NumPy pass.
+        #: Requires the columnar summary mirror (it stores slot indices
+        #: into it); ``REPRO_DISABLE_FLAT_POSTINGS=1`` disables it for
+        #: differential runs.
+        self._flat = None
+        if (
+            self._qcols is not None
+            and os.environ.get("REPRO_DISABLE_FLAT_POSTINGS") != "1"
+        ):
+            try:
+                from repro.core.flat_postings import FlatPostingsIndex
+
+                self._flat = FlatPostingsIndex(self._qcols, self.counters)
+                self._flat.attach(self._index)
+            except (ImportError, RuntimeError):
+                self._flat = None
+        #: Whether the current batch runs the flat prefilter (committed
+        #: per micro-batch alongside the kernel mode; fixed backends use
+        #: the same block-count policy directly).
+        self._flat_min_blocks = _env_threshold(
+            "REPRO_FLAT_MIN_BLOCKS", DEFAULT_MIN_FLAT_BLOCKS
+        )
+        self._flat_active = False
         self.telemetry = telemetry
         #: The active publish's observation; set only while telemetry is
         #: attached and a publish is in flight (hot paths branch on it).
@@ -429,13 +458,29 @@ class DasEngine:
         """
         begin = self._kernels_begin_batch
         if begin is not None:
-            mode = begin(batch_size, self._config.k, self._candidate_blocks())
+            mode = begin(
+                batch_size,
+                self._config.k,
+                self._candidate_blocks(),
+                aw_shortcut=self._config.use_agg_weights,
+                min_flat_blocks=self._flat_min_blocks,
+            )
         else:
             mode = "numpy" if self._kernels.name == "numpy" else "python"
         if mode == "numpy":
             self.counters.batches_vectorized += 1
         else:
             self.counters.batches_scalar += 1
+        if self._flat is not None:
+            # The adaptive backend commits the flat prefilter per batch
+            # alongside the kernel mode; fixed numpy backends apply the
+            # same block-count policy directly.
+            committed = getattr(self._kernels, "flat_committed", None)
+            if committed is None:
+                committed = choose_flat_commit(
+                    self._candidate_blocks(), self._flat_min_blocks
+                )
+            self._flat_active = committed
 
     def _publish_one(
         self,
@@ -495,6 +540,21 @@ class DasEngine:
         if not lists:
             return notifications
 
+        # Batch-wide block-skip prefilter (ISSUE 9): one NumPy pass
+        # computes the Eq. 12 thresholds of every candidate block and
+        # compares them against the document's universal Eq. 18 upper
+        # bound.  A True verdict is a skip the scalar check is
+        # guaranteed to take; False falls back to the scalar check.
+        flat_rows = None
+        if self._flat_active:
+            obs = self._obs
+            if obs is None:
+                flat_rows = self._flat_prepare(lists, ps_cache, now)
+            else:
+                entered = obs.time()
+                flat_rows = self._flat_prepare(lists, ps_cache, now)
+                obs.add("group_filter", obs.time() - entered)
+
         # k-way merge of the postings cursors, cheapest head first.  The
         # heap holds one (current query id, term) pair per unexhausted
         # term, so advancing costs O(log T) instead of the O(T) rescan of
@@ -515,15 +575,34 @@ class DasEngine:
             skipped = False
             if offset == 0 and use_blocks:
                 obs = self._obs
-                if obs is None:
-                    skip = self._try_skip_block(
-                        term, block, ps_cache, document, cursors, lists, now
-                    )
+                entered = obs.time() if obs is not None else 0.0
+                # A clean block with a positive batch verdict skips
+                # without the scalar check; otherwise the scalar check
+                # runs, reusing the batch-computed Eq. 12 threshold.  A
+                # block re-dirtied since the batch pass (a result update
+                # mid-document) falls back to the full scalar path.
+                row = (
+                    flat_rows.get(term)
+                    if flat_rows is not None and not block.meta_dirty
+                    else None
+                )
+                if row is not None and row[0][block_index]:
+                    self._flat_skip_effects(term, block)
+                    skip = True
                 else:
-                    entered = obs.time()
                     skip = self._try_skip_block(
-                        term, block, ps_cache, document, cursors, lists, now
+                        term,
+                        block,
+                        ps_cache,
+                        document,
+                        cursors,
+                        lists,
+                        now,
+                        threshold=(
+                            row[1][block_index] if row is not None else None
+                        ),
                     )
+                if obs is not None:
                     obs.add("group_filter", obs.time() - entered)
                 if skip:
                     self.counters.blocks_skipped += 1
@@ -568,21 +647,29 @@ class DasEngine:
         cursors: Dict[str, Tuple[int, int]],
         lists: Dict[str, PostingsList],
         now: float,
+        threshold: Optional[float] = None,
     ) -> bool:
-        """Group filtering condition for one block (Lemma 7)."""
+        """Group filtering condition for one block (Lemma 7).
+
+        ``threshold`` carries the batch-computed Eq. 12 value for clean
+        blocks (bit-identical to the per-block derivation below); when
+        None the block is refreshed if dirty and the threshold derived
+        from its summaries.
+        """
         self.counters.group_checks += 1
-        if block.meta_dirty:
-            qcols = self._qcols
-            if qcols is not None and block.refresh_from_columns(qcols):
-                self.counters.columnar_refreshes += 1
-            else:
-                block.refresh_metadata(
-                    self._result_sets, self._config.alpha, self._coeff
-                )
-                self.counters.scalar_refreshes += 1
-        threshold = block_threshold_lower_bound(
-            block, self._decay_cache, now, self._config.alpha
-        )
+        if threshold is None:
+            if block.meta_dirty:
+                qcols = self._qcols
+                if qcols is not None and block.refresh_from_columns(qcols):
+                    self.counters.columnar_refreshes += 1
+                else:
+                    block.refresh_metadata(
+                        self._result_sets, self._config.alpha, self._coeff
+                    )
+                    self.counters.scalar_refreshes += 1
+            threshold = block_threshold_lower_bound(
+                block, self._decay_cache, now, self._config.alpha
+            )
         # TRel̃_max (Eq. 18): document terms whose cursor has not passed
         # this block yet can still contribute relevance to its queries.
         max_id = block.max_id
@@ -619,6 +706,47 @@ class DasEngine:
             self._config.k,
             coeff=self._coeff,
         )
+
+    def _flat_prepare(self, lists, ps_cache, now):
+        """Run the flat mirror's batch-wide Lemma 7 prefilter (ISSUE 9).
+
+        ``U0`` is Eq. 18 with every document term still active and the
+        Eq. 19 similarity bound at its floor 0 — an upper bound on every
+        value the scalar check can compute, so a positive verdict is
+        exactly a skip the scalar path would take.
+        """
+        max_ps = max(ps_cache[term] for term in lists)
+        upper0_trel = max_ps
+        return self._flat.prepare(
+            lists,
+            self._result_sets,
+            self._config.alpha,
+            self._coeff,
+            self._config.k,
+            upper0_trel,
+            self._decay_cache,
+            now,
+            self.counters,
+        )
+
+    def _flat_skip_effects(self, term: str, block) -> None:
+        """Replicate the scalar side effects of a group-check skip.
+
+        The scalar check maintains MCS summaries *before* deciding, so a
+        prefiltered skip must perform the same rebuild (and the same
+        counter accounting) to keep the flat-on and flat-off runs on
+        identical maintenance schedules.
+        """
+        self.counters.group_checks += 1
+        self.counters.flat_skips += 1
+        if self._config.use_group_filter:
+            if block.needs_mcs_rebuild(self._config.delta_s):
+                block.rebuild_mcs(term, self._result_sets)
+                self.counters.mcs_rebuilds += 1
+            if block.mcs_sets:
+                self.counters.sim_evaluations += sum(
+                    len(cover) for cover in block.mcs_sets
+                )
 
     def _evaluate_query(
         self,
@@ -712,8 +840,11 @@ class DasEngine:
     def _mark_blocks_dirty(self, query: DasQuery) -> None:
         if not self._config.use_blocks:
             return
-        for _term, block in self._memberships[query.query_id]:
+        flat = self._flat
+        for term, block in self._memberships[query.query_id]:
             block.meta_dirty = True
+            if flat is not None:
+                flat.note_dirty(term)
 
     def _on_result_updated(
         self, query: DasQuery, result_set: QueryResultSet, evicted: Document
@@ -732,8 +863,11 @@ class DasEngine:
         if oldest is not None:
             invalidated.add(oldest.document.doc_id)
         invalidated = frozenset(invalidated)
-        for _term, block in self._memberships[query.query_id]:
+        flat = self._flat
+        for term, block in self._memberships[query.query_id]:
             block.meta_dirty = True
+            if flat is not None:
+                flat.note_dirty(term)
             if self._config.use_group_filter:
                 dropped = block.invalidate_mcs_with(invalidated)
                 self.counters.mcs_invalidations += dropped

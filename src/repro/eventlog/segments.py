@@ -20,6 +20,13 @@ Durability contract:
   un-acked work).
 * ``truncate_to(offset)`` drops whole segments that a checkpoint made
   redundant; the active segment is never deleted.
+* ``compact_to(offset)`` additionally rewrites the *head* segment when
+  ``offset`` falls inside it, physically reclaiming entries every
+  durable subscriber has acked and a checkpoint covers.  The rewrite is
+  crash-safe: the surviving suffix is written to a temporary file,
+  fsynced, renamed into place and only then is the old segment removed
+  — a crash in between leaves an overlapping pair, and the recovery
+  scan keeps the earlier (superset) segment and deletes the leftover.
 
 Fsync policies: ``always`` fsyncs once per append call (one fsync covers
 a whole ``append_many`` batch), ``batch`` fsyncs on rotation, explicit
@@ -96,6 +103,8 @@ class EventLog:
         self.rotations = 0
         self.recovered = 0
         self.torn_dropped = 0
+        self.compactions = 0
+        self.reclaimed_bytes = 0
         os.makedirs(directory, exist_ok=True)
         #: Retained entries, contiguous from ``self._base``.
         self._entries: List[Dict[str, Any]] = []
@@ -113,6 +122,11 @@ class EventLog:
     # -- recovery scan ----------------------------------------------------
 
     def _scan(self) -> None:
+        for name in os.listdir(self.directory):
+            # Stray temporaries from a compaction interrupted before its
+            # rename; the old segment is still in place, so just drop.
+            if name.startswith("compact-") and name.endswith(".tmp"):
+                os.remove(os.path.join(self.directory, name))
         names = sorted(
             name
             for name in os.listdir(self.directory)
@@ -125,6 +139,14 @@ class EventLog:
             if expected is None:
                 self._base = base
                 expected = base
+            elif base < expected:
+                # A compaction renamed its rewritten head segment into
+                # place but crashed before removing the original.  The
+                # original (scanned first — lower base) is a strict
+                # superset, so the rewrite is redundant: delete it and
+                # let a later compaction redo the work.
+                os.remove(path)
+                continue
             elif base != expected:
                 raise ReproError(
                     f"event log gap: segment {name} starts at {base}, "
@@ -287,13 +309,74 @@ class EventLog:
             base, count = self._segments[0]
             if base + count > offset:
                 break
-            os.remove(os.path.join(self.directory, segment_name(base)))
+            path = os.path.join(self.directory, segment_name(base))
+            self.reclaimed_bytes += os.path.getsize(path)
+            os.remove(path)
             self._segments.pop(0)
             removed += count
         if removed:
             del self._entries[:removed]
             self._base += removed
         return self._base
+
+    def compact_to(self, offset: int) -> int:
+        """Physically reclaim every retained entry below ``offset``.
+
+        Goes one step beyond :meth:`truncate_to`: after whole redundant
+        segments are dropped, an ``offset`` that lands *inside* the head
+        segment rewrites that segment to its surviving suffix (the
+        active segment gets its append handle swapped, like a rotation).
+        The caller guarantees nothing below ``offset`` is ever replayed
+        again — the runtime passes ``min(checkpoint offset, lowest
+        subscriber ack + 1)``.  Returns the bytes reclaimed.
+        """
+        if self._closed:
+            raise ReproError("event log is closed")
+        before = self.reclaimed_bytes
+        self.truncate_to(offset)
+        if offset > self.end:
+            offset = self.end
+        if offset > self._base:
+            head_base, head_count = self._segments[0]
+            keep = head_base + head_count - offset
+            is_active = len(self._segments) == 1
+            old_path = os.path.join(
+                self.directory, segment_name(head_base)
+            )
+            old_size = os.path.getsize(old_path)
+            if is_active:
+                self._file.flush()
+                self._file.close()
+            tmp_path = os.path.join(
+                self.directory, f"compact-{offset:020d}.tmp"
+            )
+            drop = offset - self._base
+            with open(tmp_path, "wb") as handle:
+                for index in range(drop, drop + keep):
+                    handle.write(
+                        _encode_entry(
+                            self._base + index, self._entries[index]
+                        )
+                    )
+                handle.flush()
+                if self.fsync_policy != "never":
+                    os.fsync(handle.fileno())
+                    self.fsyncs += 1
+            new_path = os.path.join(self.directory, segment_name(offset))
+            # Rename before removing the original: a crash in between
+            # leaves an overlapping pair the recovery scan resolves in
+            # favour of the original (see _scan).
+            os.rename(tmp_path, new_path)
+            os.remove(old_path)
+            self.reclaimed_bytes += old_size - os.path.getsize(new_path)
+            del self._entries[:drop]
+            self._segments[0] = [offset, keep]
+            self._base = offset
+            if is_active:
+                self._active_path = new_path
+                self._file = open(self._active_path, "ab")
+            self.compactions += 1
+        return self.reclaimed_bytes - before
 
     # -- lifecycle / observability ----------------------------------------
 
@@ -320,6 +403,8 @@ class EventLog:
             "rotations": self.rotations,
             "recovered": self.recovered,
             "torn_dropped": self.torn_dropped,
+            "compactions": self.compactions,
+            "reclaimed_bytes": self.reclaimed_bytes,
         }
 
     def __repr__(self) -> str:

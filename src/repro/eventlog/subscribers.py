@@ -207,6 +207,18 @@ class SubscriberRegistry:
                 entry["attempts"],
             )
 
+    def min_acked(self) -> Optional[int]:
+        """Lowest acked offset across all durable subscribers, or None.
+
+        This is the replay floor for log compaction: entries at or below
+        it have been confirmed by *every* durable subscriber, so no
+        catch-up replay can ever need them again.  A subscriber that has
+        never acked reports -1, pinning the floor at the log base.
+        """
+        if not self._states:
+            return None
+        return min(state.acked for state in self._states.values())
+
     # -- checkpoint embedding ----------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:

@@ -33,6 +33,8 @@ class Counters:
     batches_scalar: int = 0
     columnar_refreshes: int = 0
     scalar_refreshes: int = 0
+    flat_skips: int = 0
+    postings_compactions: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

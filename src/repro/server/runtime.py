@@ -1386,7 +1386,8 @@ class ServerRuntime:
 
     async def _write_eventlog_checkpoint(self) -> Dict[str, Any]:
         """Checkpoint engine + registry at the current log end, then
-        drop the log segments the checkpoint made redundant."""
+        drop the log segments the checkpoint made redundant and compact
+        the head segment down to the subscriber replay floor."""
         offset = self._eventlog.end
         engine_payload = await self._call_engine(
             engine_checkpoint, self._facade.engine
@@ -1398,7 +1399,15 @@ class ServerRuntime:
             self._registry.snapshot(),
             injector=self._injector,
         )
-        self._eventlog.truncate_to(offset)
+        # Reclaim only what is BOTH checkpoint-covered and fully acked:
+        # a durable subscriber that has not confirmed an offset may still
+        # resume against the retained log, so the lowest ack pins the
+        # floor (a silent subscriber therefore pins the log — visible as
+        # ``base`` lagging ``checkpoint_offset`` in stats.eventlog).
+        # Offset ``min_acked`` itself is confirmed delivered: floor +1.
+        min_acked = self._registry.min_acked()
+        floor = offset if min_acked is None else min(offset, min_acked + 1)
+        reclaimed = self._eventlog.compact_to(floor)
         self._checkpoint_offset = offset
         self._appended_since_checkpoint = 0
         self._checkpoints_written += 1
@@ -1406,6 +1415,7 @@ class ServerRuntime:
             "offset": offset,
             "checkpoints": self._checkpoints_written,
             "log_base": self._eventlog.base,
+            "reclaimed_bytes": reclaimed,
         }
 
     # -- cluster node ops (DESIGN.md §13) ----------------------------------

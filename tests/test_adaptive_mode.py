@@ -18,8 +18,11 @@ from repro.core.engine import DasEngine
 from repro.kernels import resolve_backend
 from repro.kernels.adaptive import (
     DEFAULT_MIN_BATCH_WORK,
+    DEFAULT_MIN_FLAT_BLOCKS,
     DEFAULT_MIN_ROWS,
+    DEFAULT_MIN_ROWS_NO_AW,
     choose_batch_mode,
+    choose_flat_commit,
 )
 from repro.telemetry.effectiveness import effectiveness_gauges
 from repro.workloads.corpus import SyntheticTweetCorpus
@@ -29,6 +32,8 @@ def test_defaults_are_pinned():
     """The shipped thresholds are part of the perf contract."""
     assert DEFAULT_MIN_ROWS == 32
     assert DEFAULT_MIN_BATCH_WORK == 256
+    assert DEFAULT_MIN_ROWS_NO_AW == 16
+    assert DEFAULT_MIN_FLAT_BLOCKS == 2
 
 
 @pytest.mark.parametrize(
@@ -56,6 +61,57 @@ def test_defaults_are_pinned():
 )
 def test_choose_batch_mode_boundary(batch_size, k, blocks, expected):
     assert choose_batch_mode(batch_size, k, blocks) == expected
+
+
+@pytest.mark.parametrize(
+    ("batch_size", "k", "blocks", "expected"),
+    [
+        # Without the AW shortcut (BIRT / IRT) the full tail-similarity
+        # matrix amortises NumPy at k=16 already — the bench's k=20
+        # commits numpy where the AW methods stay scalar.
+        (1, 16, 0, "numpy"),
+        (1, 20, 1, "numpy"),
+        (1, 15, 0, "python"),
+        (256, 15, 1, "mixed"),
+    ],
+)
+def test_choose_batch_mode_boundary_no_aw(batch_size, k, blocks, expected):
+    assert (
+        choose_batch_mode(batch_size, k, blocks, aw_shortcut=False)
+        == expected
+    )
+
+
+def test_flat_commit_boundary():
+    """The flat prefilter engages only once lists hold enough blocks
+    for the batch pass to have vectorisation width (ISSUE 9)."""
+    assert not choose_flat_commit(0)
+    assert not choose_flat_commit(1)
+    assert choose_flat_commit(2)
+    assert choose_flat_commit(2, 2)
+    assert not choose_flat_commit(1, 2)
+    assert choose_flat_commit(0, 0)
+
+
+def test_engine_commits_numpy_for_baseline_methods():
+    """BIRT (no aggregated weights) commits numpy mode at the bench's
+    k=20; GIFilter at the same k stays scalar (ISSUE 9 satellite 1)."""
+    corpus = SyntheticTweetCorpus(
+        vocab_size=150, n_topics=6, doc_length=(4, 8), seed=9
+    )
+    docs = corpus.documents(8)
+    birt = DasEngine.for_method("BIRT", k=20, block_size=8, backend="auto")
+    if birt._kernels.name != "auto":
+        pytest.skip("numpy unavailable; auto resolved to a fixed backend")
+    birt.publish_batch(docs)
+    assert birt._kernels.mode == "numpy"
+    assert birt.counters.batches_vectorized == 1
+    gifilter = DasEngine.for_method(
+        "GIFilter", k=20, block_size=8, backend="auto"
+    )
+    gifilter.publish_batch(docs)
+    assert gifilter._kernels.mode != "numpy"
+    assert gifilter.counters.batches_scalar == 1
 
 
 def test_begin_batch_rebinds_hot_ops_to_backend_methods():

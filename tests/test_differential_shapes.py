@@ -129,6 +129,55 @@ def test_checkpoint_rebuilds_columnar_mirror():
         )
 
 
+@pytest.mark.parametrize("backend", ["numpy", "auto"])
+def test_flat_postings_do_not_change_decisions(monkeypatch, backend):
+    """The batch-wide skip prefilter (ISSUE 9) is an optimisation,
+    never a behaviour — forced on at a scale it would normally sit out,
+    every decision still matches the flat-disabled engine."""
+    docs, queries = _workload(seed=50)
+    config = _config(backend)
+    monkeypatch.setenv("REPRO_FLAT_MIN_BLOCKS", "0")
+    flat_engine = DasEngine(config)
+    if flat_engine._flat is None:
+        pytest.skip("flat mirror unavailable (no numpy)")
+    flat = _trace(flat_engine, docs, queries)
+    assert flat_engine._flat_active
+    monkeypatch.setenv("REPRO_DISABLE_FLAT_POSTINGS", "1")
+    scalar_engine = DasEngine(config)
+    assert scalar_engine._flat is None
+    assert _trace(scalar_engine, docs, queries) == flat
+    with ParallelShardedEngine(N_SHARDS, config) as parallel:
+        assert _trace(parallel, docs, queries) == flat
+
+
+def test_checkpoint_rebuilds_flat_mirror(monkeypatch):
+    """The flat mirror is derived state: a restore replays the queries
+    through the ordinary insert hooks and decisions continue bit-equal."""
+    monkeypatch.setenv("REPRO_FLAT_MIN_BLOCKS", "0")
+    docs, queries = _workload(seed=51)
+    engine = DasEngine(_config("auto"))
+    if engine._flat is None:
+        pytest.skip("flat mirror unavailable (no numpy)")
+    for query in queries:
+        engine.subscribe(DasQuery(query.query_id, query.terms))
+    engine.publish_batch(docs[:48])
+    restored = restore(checkpoint(engine))
+    assert restored._flat is not None
+    assert set(restored._flat.term_names()) == set(
+        engine._index.terms()
+    )
+    for start in range(48, len(docs), BATCH):
+        batch = docs[start : start + BATCH]
+        assert sorted(
+            _note_key(n) for n in restored.publish_batch(batch)
+        ) == sorted(_note_key(n) for n in engine.publish_batch(batch))
+    assert restored.counters.flat_skips == engine.counters.flat_skips
+    for query in queries:
+        assert restored.current_dr(query.query_id) == engine.current_dr(
+            query.query_id
+        )
+
+
 def test_checkpoint_restores_without_columnar(monkeypatch):
     """A checkpoint written with the mirror loads fine without it."""
     docs, queries = _workload(seed=49)

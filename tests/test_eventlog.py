@@ -152,6 +152,99 @@ def test_truncate_never_deletes_the_active_segment(tmp_eventlog):
     assert segment_name(4) in os.listdir(directory)
 
 
+def test_compact_to_rewrites_head_segment(tmp_eventlog):
+    directory, open_log = tmp_eventlog
+    log = open_log(segment_entries=4)
+    for i in range(10):
+        log.append(publish(i))
+    # truncate_to alone would stop at the segment boundary (base 4);
+    # compaction rewrites the head so the base lands exactly on 6.
+    reclaimed = log.compact_to(6)
+    assert reclaimed > 0
+    assert log.base == 6 and log.end == 10
+    assert log.compactions == 1
+    assert log.reclaimed_bytes == reclaimed
+    names = sorted(n for n in os.listdir(directory) if n.endswith(".seg"))
+    assert names == [segment_name(6), segment_name(8)]
+    assert [o for o, _ in log.entries_since(6)] == [6, 7, 8, 9]
+    with pytest.raises(ReproError):
+        log.entries_since(5)
+    # The log keeps appending normally and a reopen sees exactly the
+    # surviving suffix.
+    log.append(publish(10))
+    log.close()
+    reopened = open_log(segment_entries=4)
+    assert reopened.base == 6 and reopened.end == 11
+
+
+def test_compact_to_swaps_the_active_append_handle(tmp_eventlog):
+    directory, open_log = tmp_eventlog
+    log = open_log(segment_entries=100)
+    for i in range(5):
+        log.append(publish(i))
+    assert log.compact_to(3) > 0
+    assert log.base == 3
+    assert os.listdir(directory) == [segment_name(3)]
+    # Appends after the handle swap land in the rewritten segment.
+    log.append(publish(5))
+    log.close()
+    reopened = open_log(segment_entries=100)
+    assert [o for o, _ in reopened.entries_since(3)] == [3, 4, 5]
+
+
+def test_compact_to_is_noop_at_or_below_base(tmp_eventlog):
+    _, open_log = tmp_eventlog
+    log = open_log(segment_entries=4)
+    for i in range(3):
+        log.append(publish(i))
+    assert log.compact_to(0) == 0
+    assert log.compactions == 0
+    # Offsets past the end clamp: everything is reclaimable.
+    assert log.compact_to(99) > 0
+    assert log.base == log.end == 3
+
+
+def test_scan_resolves_interrupted_compaction_leftovers(tmp_eventlog):
+    directory, open_log = tmp_eventlog
+    log = open_log(segment_entries=3)
+    for i in range(6):
+        log.append(publish(i))
+    log.close()
+    # Simulate a compaction that crashed after renaming its rewritten
+    # head (base 1, a subset of events-0) but before removing the
+    # original, plus a stray tmp from an even earlier attempt.
+    encode = lambda o: (
+        json.dumps({"offset": o, "record": publish(o)}) + "\n"
+    ).encode()
+    with open(os.path.join(directory, segment_name(1)), "wb") as fh:
+        fh.write(encode(1) + encode(2))
+    with open(
+        os.path.join(directory, "compact-00000000000000000002.tmp"), "wb"
+    ) as fh:
+        fh.write(b"half a li")
+    reopened = open_log(segment_entries=3)
+    assert reopened.base == 0 and reopened.end == 6
+    assert reopened.recovered == 6
+    leftovers = [
+        n
+        for n in os.listdir(directory)
+        if n == segment_name(1) or n.endswith(".tmp")
+    ]
+    assert leftovers == []
+
+
+def test_compact_leaves_the_dlq_alone(tmp_eventlog):
+    directory, open_log = tmp_eventlog
+    dlq = DeadLetterQueue(directory)
+    dlq.add("alice", 0, 1, {"doc_id": 0}, "overflow", 1)
+    log = open_log(segment_entries=2)
+    for i in range(5):
+        log.append(publish(i))
+    log.compact_to(5)
+    assert log.base == 5
+    assert read_dlq(directory)  # the dead letter survived compaction
+
+
 def test_append_validates_before_writing(tmp_eventlog):
     _, open_log = tmp_eventlog
     log = open_log()
@@ -639,7 +732,7 @@ def test_runtime_throttling_counts_and_stats(tmp_path):
     run(scenario())
 
 
-def test_runtime_checkpoint_op_truncates_log(tmp_path):
+def test_runtime_checkpoint_compacts_to_ack_floor(tmp_path):
     directory = str(tmp_path / "log")
 
     async def scenario():
@@ -652,9 +745,23 @@ def test_runtime_checkpoint_op_truncates_log(tmp_path):
             await client.publish(tokens=["coffee"], created_at=float(i))
         result = await runtime.checkpoint_eventlog()
         assert result["offset"] == 9
-        assert result["log_base"] == 8  # whole segments below only
+        # alice has acked nothing, so despite the checkpoint every
+        # entry may still back a catch-up replay: nothing is reclaimed
+        # and the silent subscriber visibly pins the log base.
+        assert result["log_base"] == 0
+        assert result["reclaimed_bytes"] == 0
+        await client.ack(8)
+        result = await runtime.checkpoint_eventlog()
+        assert result["offset"] == 10  # + the ack record itself
+        # Floor = min_acked + 1 = 9: the two whole segments below are
+        # dropped and the head segment is rewritten in place to keep
+        # only the un-covered ack record.
+        assert result["log_base"] == 9
+        assert result["reclaimed_bytes"] > 0
         stats = await client.stats()
-        assert stats["eventlog"]["checkpoint_offset"] == 9
+        assert stats["eventlog"]["checkpoint_offset"] == 10
+        assert stats["eventlog"]["compactions"] == 1
+        assert stats["eventlog"]["reclaimed_bytes"] > 0
         await client.close()
         await runtime.stop()
 
@@ -665,7 +772,7 @@ def test_runtime_checkpoint_op_truncates_log(tmp_path):
         await runtime.start()
         client = InProcessClient(runtime)
         stats = await client.stats()
-        assert stats["eventlog"]["recovery"]["checkpoint_offset"] == 9
+        assert stats["eventlog"]["recovery"]["checkpoint_offset"] == 10
         resumed = await client.resume("alice")
         assert resumed["queries"]  # ownership survived via the checkpoint
         await client.close()
