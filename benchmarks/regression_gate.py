@@ -30,7 +30,7 @@ from typing import Dict, List, Sequence, Tuple
 DEFAULT_TOLERANCE = 0.20
 
 #: Top-level payload sections that hold gated rates.
-RATE_SECTIONS = ("results", "parallel_workers", "cluster")
+RATE_SECTIONS = ("results", "parallel_workers", "cluster", "modes")
 
 
 def derive_rates(payload: dict) -> Dict[str, float]:
@@ -60,6 +60,10 @@ def derive_rates(payload: dict) -> Dict[str, float]:
         on the deep-postings DAAT workload (publish-throughput schema,
         ISSUE 9) — the batch-wide skip pass must not lose to the scalar
         loop it accelerates.
+    ``derived.window_overhead``
+        Window-mode over decay-mode GIFilter throughput (ISSUE 10,
+        DESIGN.md §16) — the sliding-window strategy's term/expiry
+        indexing must keep it within 2x of the paper's decay hot path.
     """
     derived: Dict[str, float] = {}
     gifilter = payload.get("results", {}).get("GIFilter")
@@ -70,6 +74,9 @@ def derive_rates(payload: dict) -> Dict[str, float]:
     daat_speedup = payload.get("daat_speedup")
     if daat_speedup:
         derived["derived.daat_speedup"] = float(daat_speedup)
+    window_overhead = payload.get("window_overhead")
+    if window_overhead:
+        derived["derived.window_overhead"] = float(window_overhead)
     two_workers = payload.get("parallel_workers", {}).get("2", {})
     speedup = two_workers.get("speedup_vs_inprocess")
     if speedup:

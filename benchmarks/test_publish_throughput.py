@@ -24,8 +24,10 @@ import platform
 import time
 
 from benchmarks.common import BENCH_SPEC, bench_scale, write_output
+from repro.core.query import DasQuery
 from repro.experiments.workload import build_workload
 from repro.kernels import numpy_available
+from repro.stream.document import Document
 
 #: Timed rounds per variant (after one untimed warm-up round).
 MEASURE_ROUNDS = 2
@@ -37,6 +39,9 @@ DAAT_MEASURE_ROUNDS = 3
 BATCH_SIZE = 64
 
 METHODS = ("GIFilter", "IFilter", "BIRT", "IRT")
+
+#: Strategy modes compared by ``run_mode_suite`` (DESIGN.md §16).
+MODES = ("decay", "window", "spatial")
 
 #: Deep-postings workload for the DAAT prefilter comparison (ISSUE 9).
 #: The standard spec's power-law query terms leave ~1 block per postings
@@ -201,7 +206,98 @@ def run_daat_suite():
     return results
 
 
-def format_table(results, daat=None):
+def _unit_square_point(index):
+    """Deterministic low-discrepancy point in the unit square (golden
+    ratio sequence) — the mode comparison must not perturb the corpus
+    rng streams the decay baseline was committed against."""
+    return ((index * 0.6180339887) % 1.0, (index * 0.7548776662) % 1.0)
+
+
+def _located_documents(segment):
+    return [
+        Document(
+            document.doc_id,
+            document.vector,
+            document.created_at,
+            document.text,
+            _unit_square_point(document.doc_id),
+        )
+        for document in segment
+    ]
+
+
+def run_mode_suite():
+    """Strategy-mode overhead: decay vs window vs spatial (DESIGN.md §16).
+
+    All three engines are GIFilter on the python backend (the strategy
+    paths are pure python, so mixing backends would misattribute kernel
+    wins to the decay mode) built from the same materialised workload.
+    Spatial needs geometry: its engine gets located copies of the same
+    queries/documents via a deterministic golden-ratio sequence, leaving
+    the shared corpus rng streams untouched.  Timed rounds interleave
+    across modes (the DAAT discipline) because the gated quantity is the
+    window/decay *ratio*."""
+    workload = build_workload(_scaled(BENCH_SPEC))
+    segments = _round_segments(workload)
+    engines = {}
+    for mode in MODES:
+        base = workload.make_engine("GIFilter")
+        engine = type(base)(
+            base.config.evolve(backend="python", mode=mode)
+        )
+        for document in workload.history:
+            engine.publish(document)
+        if mode == "spatial":
+            for index, query in enumerate(workload.queries):
+                engine.subscribe(
+                    DasQuery(
+                        query.query_id,
+                        query.terms,
+                        location=_unit_square_point(index),
+                    )
+                )
+        else:
+            for query in workload.queries:
+                engine.subscribe(query)
+        settle = (
+            _located_documents(workload.settle)
+            if mode == "spatial"
+            else workload.settle
+        )
+        for document in settle:
+            engine.publish(document)
+        engines[mode] = engine
+    rates = {mode: [] for mode in MODES}
+    for index, segment in enumerate(segments):
+        order = list(engines.items())
+        if index % 2:
+            order.reverse()
+        for mode, engine in order:
+            documents = (
+                _located_documents(segment)
+                if mode == "spatial"
+                else segment
+            )
+            gc.collect()
+            start = time.process_time()
+            for document in documents:
+                engine.publish(document)
+            elapsed = time.process_time() - start
+            if index == 0:
+                continue  # warm-up round
+            rates[mode].append(
+                len(segment) / elapsed if elapsed > 0 else 0.0
+            )
+    return {
+        mode: {
+            "docs_per_sec": max(rates[mode]),
+            "rounds": [round(rate, 1) for rate in rates[mode]],
+        }
+        for mode in MODES
+    }
+
+
+def format_table(results, daat=None, modes=None):
     lines = [
         "Publish throughput (docs/sec, best of "
         f"{MEASURE_ROUNDS} process_time rounds, {BENCH_SPEC.n_queries} "
@@ -228,6 +324,17 @@ def format_table(results, daat=None):
                 f"{'GIFilter':<10} {label:<14} "
                 f"{record['docs_per_sec']:>10.1f}  [{rounds}]"
             )
+    if modes:
+        lines.append("")
+        lines.append(
+            "Strategy modes (GIFilter python backend, DESIGN.md §16)"
+        )
+        for mode, record in modes.items():
+            rounds = ", ".join(f"{rate:.1f}" for rate in record["rounds"])
+            lines.append(
+                f"{'GIFilter':<10} {mode:<14} "
+                f"{record['docs_per_sec']:>10.1f}  [{rounds}]"
+            )
     return "\n".join(lines)
 
 
@@ -240,6 +347,22 @@ def test_publish_throughput():
         assert results[method], method
         for label, record in results[method].items():
             assert record["docs_per_sec"] > 0.0, (method, label)
+
+    modes = run_mode_suite()
+    for mode in MODES:
+        assert modes[mode]["docs_per_sec"] > 0.0, mode
+    window_overhead = (
+        modes["window"]["docs_per_sec"] / modes["decay"]["docs_per_sec"]
+    )
+    # ISSUE 10 gate: window mode stays within 2x of the decay hot path.
+    # This one IS asserted despite timing noise — it is a ratio over
+    # interleaved rounds, and the margin (2x vs the ~1x measured) is far
+    # wider than observed round-to-round jitter.
+    assert window_overhead >= 0.5, (
+        f"window mode fell below half the decay throughput: "
+        f"{modes['window']['docs_per_sec']:.1f} vs "
+        f"{modes['decay']['docs_per_sec']:.1f} docs/sec"
+    )
 
     daat = run_daat_suite()
     daat_speedup = None
@@ -310,11 +433,15 @@ def test_publish_throughput():
             "candidate_blocks": daat["flat_on"]["candidate_blocks"],
         },
         "daat_speedup": daat_speedup,
+        "modes": {
+            mode: record["docs_per_sec"] for mode, record in modes.items()
+        },
+        "window_overhead": window_overhead,
     }
     with open(JSON_PATH, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    write_output("throughput", format_table(results, daat))
+    write_output("throughput", format_table(results, daat, modes))
 
 
 if __name__ == "__main__":

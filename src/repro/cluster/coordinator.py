@@ -484,8 +484,13 @@ class ClusterEngine:
     async def _subscribe_async(self, query: DasQuery) -> List[Document]:
         shard_index = self._route(query)
         shard = self._shards[shard_index]
+        options: Dict[str, Any] = {}
+        if query.location is not None:
+            options["location"] = list(query.location)
+        if query.window is not None:
+            options["window"] = query.window
         result = await self._apply(
-            shard, subscribe_entry(query.query_id, query.terms)
+            shard, subscribe_entry(query.query_id, query.terms, options)
         )
         self._assignment[query.query_id] = shard_index
         self._last_query_id = query.query_id

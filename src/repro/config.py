@@ -16,6 +16,21 @@ from repro.errors import ConfigurationError
 #: Sentinel for "no memory budget" on aggregated term weight summaries.
 UNLIMITED = -1
 
+#: Ranking/expiry strategy modes (see ``repro.core.strategies``).
+#:
+#: ``decay``
+#:     The paper's scenario: time-decayed text relevance with diversity
+#:     (Eq. 1/4), results only leave when replaced by a better document.
+#: ``window``
+#:     Count-based sliding window: only the newest ``window_size``
+#:     documents are alive; an expiring top-k member triggers
+#:     re-selection from a retained candidate buffer.
+#: ``spatial``
+#:     Spatial-keyword: distance-weighted proximity composed with text
+#:     relevance, queries carry a location, candidate grid cells are
+#:     pruned by an Eq. 12-style upper bound.
+STRATEGY_MODES = ("decay", "window", "spatial")
+
 
 class GroupBoundMode(enum.Enum):
     """How the group similarity bound ``Sim̃_min`` (Eq. 19) is computed.
@@ -90,6 +105,19 @@ class EngineConfig:
     #: result sets are never evicted).  ``UNLIMITED`` keeps everything.
     store_capacity: int = UNLIMITED
 
+    # --- Strategy seam (repro.core.strategies, DESIGN.md §16) ---
+    #: Ranking/expiry mode, one of :data:`STRATEGY_MODES`.
+    mode: str = "decay"
+    #: Count-based window (``mode="window"``): global retention bound and
+    #: the cap on any query's per-subscription ``window`` option.
+    window_size: int = 64
+    #: Grid resolution per axis (``mode="spatial"``): the unit square of
+    #: query locations is cut into ``spatial_cells x spatial_cells``.
+    spatial_cells: int = 8
+    #: Weight of spatial proximity in the combined score
+    #: (``mode="spatial"``): ``score = w * proximity + (1 - w) * trel``.
+    spatial_weight: float = 0.5
+
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ConfigurationError(f"k must be >= 1, got {self.k}")
@@ -132,6 +160,22 @@ class EngineConfig:
             raise ConfigurationError(
                 f"backend must be 'auto', 'python' or 'numpy', "
                 f"got {self.backend!r}"
+            )
+        if self.mode not in STRATEGY_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {STRATEGY_MODES}, got {self.mode!r}"
+            )
+        if self.window_size < 1:
+            raise ConfigurationError(
+                f"window_size must be >= 1, got {self.window_size}"
+            )
+        if self.spatial_cells < 1:
+            raise ConfigurationError(
+                f"spatial_cells must be >= 1, got {self.spatial_cells}"
+            )
+        if not 0.0 <= self.spatial_weight <= 1.0:
+            raise ConfigurationError(
+                f"spatial_weight must be in [0, 1], got {self.spatial_weight}"
             )
 
     def with_decay_scale(self, scale: float, horizon: float) -> "EngineConfig":

@@ -42,6 +42,7 @@ from repro.core.initializer import select_initial_documents
 from repro.core.inverted_file import PostingsList, QueryInvertedFile
 from repro.core.query import DasQuery
 from repro.core.result_set import QueryResultSet
+from repro.core.strategies import make_strategy
 from repro.errors import (
     DuplicateQueryError,
     QueryOrderError,
@@ -130,6 +131,11 @@ class DasEngine:
         self._kernels_begin_batch = getattr(self._kernels, "begin_batch", None)
         self._init_strategy = init_strategy
         self.counters = counters if counters is not None else Counters()
+        #: Ranking/expiry strategy seam (DESIGN.md §16).  ``None`` in the
+        #: decay mode so the paper's hot path pays no indirection; the
+        #: window/spatial strategies fully intercept subscribe/publish/
+        #: results while the engine keeps owning query-id bookkeeping.
+        self._strategy = make_strategy(self)
         #: Flat postings mirror (ISSUE 9): contiguous per-term arrays so
         #: the Lemma 7 skip decision runs batch-wide in one NumPy pass.
         #: Requires the columnar summary mirror (it stores slot indices
@@ -218,6 +224,11 @@ class DasEngine:
         return len(self._queries)
 
     @property
+    def strategy(self):
+        """The active strategy object, or ``None`` in the decay mode."""
+        return self._strategy
+
+    @property
     def method_name(self) -> str:
         cfg = self._config
         if cfg.use_group_filter:
@@ -235,7 +246,10 @@ class DasEngine:
         return self.telemetry.snapshot() if self.telemetry is not None else None
 
     def results(self, query_id: int) -> List[Document]:
-        """Current result set of a query, newest first."""
+        """Current result set of a query, best/newest first."""
+        if self._strategy is not None:
+            self._query_of(query_id)
+            return self._strategy.results(query_id)
         result_set = self._result_set_of(query_id)
         return result_set.documents_newest_first()
 
@@ -249,7 +263,13 @@ class DasEngine:
         return self._index.items()
 
     def current_dr(self, query_id: int) -> float:
-        """Reference ``DR(q.R)`` of the live result set (Eq. 1)."""
+        """Score of the live result set under the active strategy.
+
+        Decay mode: reference ``DR(q.R)`` (Eq. 1).  Strategy modes:
+        the sum of the members' strategy scores."""
+        if self._strategy is not None:
+            self._query_of(query_id)
+            return self._strategy.current_dr(query_id)
         query = self._query_of(query_id)
         result_set = self._result_sets[query_id]
         return dr_score(
@@ -309,6 +329,15 @@ class DasEngine:
                 f"query id {query.query_id} is not after previous id "
                 f"{self._last_query_id}"
             )
+        if self._strategy is not None:
+            # The strategy owns seeding and result maintenance; the engine
+            # keeps owning id bookkeeping so every caller (facade, harness,
+            # checkpoints) sees the same ``_queries`` surface in all modes.
+            initial = self._strategy.subscribe(query)
+            self._queries[query.query_id] = query
+            self._last_query_id = query.query_id
+            self.counters.queries_subscribed += 1
+            return initial
         result_set = QueryResultSet(
             self._config.k,
             budget=self._budget,
@@ -352,6 +381,10 @@ class DasEngine:
 
     def unsubscribe(self, query_id: int) -> None:
         query = self._query_of(query_id)
+        if self._strategy is not None:
+            self._strategy.unsubscribe(query)
+            del self._queries[query_id]
+            return
         result_set = self._result_sets.pop(query_id)
         del self._queries[query_id]
         for entry in result_set.entries:
@@ -389,6 +422,8 @@ class DasEngine:
         then owns clearing it.  With the default ``None`` the engine's
         own per-publish memo is used.
         """
+        if self._strategy is not None:
+            return self._strategy.publish(document)
         self._begin_batch(1)
         if decay_cache is None:
             self._decay_cache.clear()
@@ -422,9 +457,32 @@ class DasEngine:
         pass a shared ``decay_cache`` so sibling shards broadcasting the
         same batch reuse one memo (the caller owns clearing it).
         """
+        notifications: List[Notification] = []
+        for segment in self.publish_batch_segmented(documents, decay_cache):
+            notifications.extend(segment)
+        return notifications
+
+    def publish_batch_segmented(
+        self,
+        documents: Iterable[Document],
+        decay_cache: Optional[CachedDecay] = None,
+    ) -> List[List[Notification]]:
+        """:meth:`publish_batch`, keeping per-document segment boundaries.
+
+        Returns one notification list per input document (possibly
+        empty), in input order; :meth:`publish_batch` is exactly the
+        concatenation.  Multi-shard mergers need the boundaries: strategy
+        modes may emit notifications whose subject is *not* the published
+        document (window promotions), so "group by doc id" no longer
+        reconstructs which document produced a notification.
+        """
         documents = list(documents)
         if not documents:
             return []
+        if self._strategy is not None:
+            return [
+                self._strategy.publish(document) for document in documents
+            ]
         self._begin_batch(len(documents))
         if decay_cache is None:
             decay_cache = self._decay_cache
@@ -432,11 +490,11 @@ class DasEngine:
         own = self._decay_cache
         self._decay_cache = decay_cache
         try:
-            notifications: List[Notification] = []
+            segments: List[List[Notification]] = []
             lists_memo: Dict[str, Optional[PostingsList]] = {}
             for document in documents:
-                notifications.extend(self._publish_one(document, lists_memo))
-            return notifications
+                segments.append(self._publish_one(document, lists_memo))
+            return segments
         finally:
             self._decay_cache = own
 

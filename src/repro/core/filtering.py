@@ -153,6 +153,74 @@ def group_filters_out(
     return upper <= threshold_lower
 
 
+#: Diagonal of the unit square — the maximum possible distance between a
+#: query location and a document location, used to normalise proximity.
+UNIT_DIAGONAL = 2.0 ** 0.5
+
+
+def spatial_proximity(
+    query_location: Optional[Sequence[float]],
+    doc_location: Optional[Sequence[float]],
+) -> float:
+    """Distance-weighted proximity in ``[0, 1]`` over the unit square.
+
+    ``1 - dist / sqrt(2)``: 1 at co-location, 0 at opposite corners.  A
+    document without a location contributes zero proximity (it can still
+    win on text relevance alone).
+    """
+    if query_location is None or doc_location is None:
+        return 0.0
+    dx = query_location[0] - doc_location[0]
+    dy = query_location[1] - doc_location[1]
+    return 1.0 - (dx * dx + dy * dy) ** 0.5 / UNIT_DIAGONAL
+
+
+def spatial_score(
+    proximity: float, trel: float, spatial_weight: float
+) -> float:
+    """The composed spatial-keyword score ``w·prox + (1-w)·TRel``.
+
+    One shared expression so the engine-side grid path and the
+    brute-force oracle evaluate the identical float arithmetic."""
+    return spatial_weight * proximity + (1.0 - spatial_weight) * trel
+
+
+def cell_proximity_upper_bound(
+    cell_bounds: Sequence[float],
+    doc_location: Optional[Sequence[float]],
+) -> float:
+    """Upper bound on :func:`spatial_proximity` over a grid cell.
+
+    ``cell_bounds`` is ``(x0, y0, x1, y1)``; the bound uses the minimum
+    distance from the document location to the cell rectangle, so it
+    dominates the proximity of every query located inside the cell.
+    """
+    if doc_location is None:
+        return 0.0
+    x0, y0, x1, y1 = cell_bounds
+    x, y = doc_location
+    dx = max(x0 - x, 0.0, x - x1)
+    dy = max(y0 - y, 0.0, y - y1)
+    return 1.0 - (dx * dx + dy * dy) ** 0.5 / UNIT_DIAGONAL
+
+
+def spatial_cell_filters_out(
+    proximity_upper: float,
+    trel_upper: float,
+    cell_threshold: float,
+    spatial_weight: float,
+) -> bool:
+    """Eq. 12-style skip discipline for one grid cell.
+
+    ``cell_threshold`` is the minimum worst-member score over the cell's
+    *full* queries (``-inf`` while any is filling).  Admission demands a
+    strict ``score > worst + TIE_EPSILON`` improvement and the composed
+    upper bound dominates every admissible score in the cell, so a
+    positive verdict can never drop a qualifying query."""
+    upper = spatial_score(proximity_upper, trel_upper, spatial_weight)
+    return upper <= cell_threshold + TIE_EPSILON
+
+
 def exact_group_threshold(
     result_sets,
     query_ids: Sequence[int],

@@ -7,24 +7,57 @@ engine that the query is subscribed to.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
-from repro.errors import EmptyQueryError
+from repro.errors import ConfigurationError, EmptyQueryError
 
 
 class DasQuery:
-    """Immutable subscription: an id plus a deduplicated keyword tuple."""
+    """Immutable subscription: an id plus a deduplicated keyword tuple.
 
-    __slots__ = ("query_id", "terms")
+    Strategy modes (DESIGN.md §16) attach two optional options:
+    ``location`` — an ``(x, y)`` pair in the unit square, required by the
+    spatial-keyword mode — and ``window`` — a per-query count-based
+    window, capped by the engine at ``config.window_size``.
+    """
 
-    def __init__(self, query_id: int, keywords: Iterable[str]) -> None:
+    __slots__ = ("query_id", "terms", "location", "window")
+
+    def __init__(
+        self,
+        query_id: int,
+        keywords: Iterable[str],
+        location: Optional[Tuple[float, float]] = None,
+        window: Optional[int] = None,
+    ) -> None:
         terms: Tuple[str, ...] = tuple(sorted(set(keywords)))
         if not terms:
             raise EmptyQueryError(f"query {query_id} has no keywords")
         if any(not term for term in terms):
             raise EmptyQueryError(f"query {query_id} contains an empty keyword")
+        if location is not None:
+            try:
+                x, y = location
+                location = (float(x), float(y))
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"query {query_id} location must be an (x, y) pair, "
+                    f"got {location!r}"
+                ) from None
+        if window is not None:
+            if isinstance(window, bool) or not isinstance(window, int):
+                raise ConfigurationError(
+                    f"query {query_id} window must be an integer, "
+                    f"got {window!r}"
+                )
+            if window < 1:
+                raise ConfigurationError(
+                    f"query {query_id} window must be >= 1, got {window}"
+                )
         self.query_id = query_id
         self.terms = terms
+        self.location = location
+        self.window = window
 
     @classmethod
     def from_text(cls, query_id: int, text: str) -> "DasQuery":
@@ -47,4 +80,9 @@ class DasQuery:
         return hash((self.query_id, self.terms))
 
     def __repr__(self) -> str:
-        return f"DasQuery(id={self.query_id}, terms={list(self.terms)})"
+        extras = ""
+        if self.location is not None:
+            extras += f", location={self.location}"
+        if self.window is not None:
+            extras += f", window={self.window}"
+        return f"DasQuery(id={self.query_id}, terms={list(self.terms)}{extras})"

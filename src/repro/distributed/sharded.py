@@ -153,11 +153,14 @@ class ShardedDasEngine:
     ) -> List[Notification]:
         """Broadcast a micro-batch to every shard; merge in document order.
 
-        Each shard runs its own :meth:`DasEngine.publish_batch` (keeping
-        the per-shard batching amortisations), then the per-shard
-        notification streams — already in document order — are
-        interleaved document-major / shard-minor, so the merged stream
-        equals sequential :meth:`publish` calls exactly.
+        Each shard runs its own :meth:`DasEngine.publish_batch_segmented`
+        (keeping the per-shard batching amortisations), then the
+        per-document segments are interleaved document-major /
+        shard-minor, so the merged stream equals sequential
+        :meth:`publish` calls exactly.  Segment boundaries — not
+        "group by subject doc id" — carry the document attribution:
+        strategy modes emit notifications whose subject is not the
+        published document (window promotions).
         """
         docs = list(documents)
         if not docs:
@@ -166,22 +169,13 @@ class ShardedDasEngine:
         if memo is not None:
             memo.clear()
         per_shard = [
-            shard.publish_batch(docs, decay_cache=memo)
+            shard.publish_batch_segmented(docs, decay_cache=memo)
             for shard in self.shards
         ]
         merged: List[Notification] = []
-        positions = [0] * len(per_shard)
-        for document in docs:
-            doc_id = document.doc_id
-            for index, stream in enumerate(per_shard):
-                position = positions[index]
-                while (
-                    position < len(stream)
-                    and stream[position].document.doc_id == doc_id
-                ):
-                    merged.append(stream[position])
-                    position += 1
-                positions[index] = position
+        for position in range(len(docs)):
+            for segments in per_shard:
+                merged.extend(segments[position])
         return merged
 
     def results(self, query_id: int) -> List[Document]:

@@ -40,7 +40,11 @@ def subscribe_record(
     query_id: int,
     terms: Iterable[str],
     subscriber: Optional[str] = None,
+    location: Optional[Iterable[float]] = None,
+    window: Optional[int] = None,
 ) -> Dict[str, Any]:
+    """``location``/``window`` are the strategy-mode subscribe options;
+    omitted keys keep the pre-strategy record shape byte-identical."""
     record: Dict[str, Any] = {
         "kind": "subscribe",
         "query_id": int(query_id),
@@ -48,6 +52,10 @@ def subscribe_record(
     }
     if subscriber is not None:
         record["subscriber"] = subscriber
+    if location is not None:
+        record["location"] = [float(value) for value in location]
+    if window is not None:
+        record["window"] = int(window)
     return record
 
 
@@ -101,10 +109,30 @@ def validate_record(record: Any) -> Dict[str, Any]:
         query_id = record.get("query_id")
         if not isinstance(query_id, int) or isinstance(query_id, bool):
             raise ReproError(f"{kind} record requires an integer 'query_id'")
-        if kind == "subscribe" and not isinstance(
-            record.get("terms"), (list, tuple)
-        ):
-            raise ReproError("subscribe record requires a 'terms' list")
+        if kind == "subscribe":
+            if not isinstance(record.get("terms"), (list, tuple)):
+                raise ReproError("subscribe record requires a 'terms' list")
+            location = record.get("location")
+            if location is not None and (
+                not isinstance(location, (list, tuple))
+                or len(location) != 2
+                or any(
+                    not isinstance(v, (int, float)) or isinstance(v, bool)
+                    for v in location
+                )
+            ):
+                raise ReproError(
+                    "subscribe record 'location' must be a number pair"
+                )
+            window = record.get("window")
+            if window is not None and (
+                not isinstance(window, int)
+                or isinstance(window, bool)
+                or window < 1
+            ):
+                raise ReproError(
+                    "subscribe record 'window' must be a positive integer"
+                )
         subscriber = record.get("subscriber")
         if subscriber is not None and not isinstance(subscriber, str):
             raise ReproError(f"{kind} record 'subscriber' must be a string")

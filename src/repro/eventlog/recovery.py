@@ -166,7 +166,15 @@ def replay_record(
 
     kind = record["kind"]
     if kind == "subscribe":
-        engine.subscribe(DasQuery(record["query_id"], record["terms"]))
+        location = record.get("location")
+        engine.subscribe(
+            DasQuery(
+                record["query_id"],
+                record["terms"],
+                location=tuple(location) if location is not None else None,
+                window=record.get("window"),
+            )
+        )
         name = record.get("subscriber")
         if name is not None:
             registry.record_subscribe(name, record["query_id"], record["terms"])

@@ -123,6 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--k", type=int, default=30, help="results per query (default: 30)"
     )
     serve.add_argument(
+        "--mode",
+        choices=("decay", "window", "spatial"),
+        default="decay",
+        help=(
+            "ranking/expiry strategy (DESIGN.md §16): decay-diversity "
+            "(the paper), count-based sliding window (subscribe option "
+            "'window'), or spatial-keyword (subscribe/publish option "
+            "'location') (default: decay)"
+        ),
+    )
+    serve.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -340,6 +351,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="operations per scenario (default: 80)",
     )
     simulate.add_argument(
+        "--mode",
+        choices=("decay", "window", "spatial"),
+        default="decay",
+        help=(
+            "engine ranking/expiry mode the chaos run exercises: 'decay' "
+            "(the paper's recency-decayed DR score), 'window' (count-based "
+            "sliding window with re-selection on expiry) or 'spatial' "
+            "(grid-pruned spatial-keyword scoring); default: decay"
+        ),
+    )
+    simulate.add_argument(
         "--plan",
         default=None,
         help=(
@@ -419,15 +441,16 @@ def build_serve_runtime(args):
     from repro.server import NdjsonTcpServer, ServerRuntime
 
     parallel_workers = getattr(args, "parallel_workers", 0)
+    mode = getattr(args, "mode", "decay")
     if parallel_workers > 1:
         # The runtime wraps the fresh engine into worker processes and
         # owns their lifecycle (ServerConfig.parallel_workers).
-        engine = DasEngine.for_method(args.method, k=args.k)
+        engine = DasEngine.for_method(args.method, k=args.k, mode=mode)
     elif args.shards > 1:
-        base = DasEngine.for_method(args.method, k=args.k)
+        base = DasEngine.for_method(args.method, k=args.k, mode=mode)
         engine = ShardedDasEngine(args.shards, base.config)
     else:
-        engine = DasEngine.for_method(args.method, k=args.k)
+        engine = DasEngine.for_method(args.method, k=args.k, mode=mode)
     config = ServerConfig(
         ingest_capacity=args.ingest_capacity,
         outbound_capacity=args.outbound_capacity,
@@ -556,6 +579,17 @@ def run_simulate(args) -> int:
         run_default_suite,
         run_parallel_crash_suite,
     )
+    from repro.simulation.harness import default_engine_config
+
+    mode = getattr(args, "mode", "decay")
+    engine_config = None
+    if mode != "decay":
+        # Small strategy-mode engine mirroring the decay default's scale:
+        # a 16-document window / 4x4 grid keeps expiries and cell skips
+        # frequent within an 80-op schedule.
+        engine_config = default_engine_config(
+            mode=mode, window_size=16, spatial_cells=4
+        )
 
     if getattr(args, "scenario", None) == "kill9-load":
         from repro.simulation.eventlog import run_kill9_suite
@@ -575,10 +609,15 @@ def run_simulate(args) -> int:
         )
     elif args.plan is not None:
         report = SimulationHarness(
-            args.seed, ops=args.ops, fault_plan=args.plan
+            args.seed,
+            ops=args.ops,
+            fault_plan=args.plan,
+            engine_config=engine_config,
         ).run()
     else:
-        report = run_default_suite(args.seed, ops=args.ops)
+        report = run_default_suite(
+            args.seed, ops=args.ops, engine_config=engine_config
+        )
     text = json.dumps(report, sort_keys=True, indent=2)
     print(text)
     if args.report:

@@ -35,6 +35,10 @@ class Counters:
     scalar_refreshes: int = 0
     flat_skips: int = 0
     postings_compactions: int = 0
+    window_expiries: int = 0
+    window_promotions: int = 0
+    cells_visited: int = 0
+    cells_skipped: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -53,7 +53,7 @@ from repro.parallel.shm import DEFAULT_RING_BYTES, ShmRing
 from repro.parallel.wire import (
     WIRE_OVERFLOW,
     decode_error,
-    decode_notification_records,
+    decode_notification_segments,
     encode_document,
     encode_document_batch,
     encode_query_terms,
@@ -196,7 +196,7 @@ class ParallelShardedEngine:
         #: Parent-side mirror of published documents, by id.
         self._documents: Dict[int, Document] = {}
         #: Ops applied since the last checkpoint, for crash replay.
-        #: Entries: ("subscribe", shard, query_id, terms),
+        #: Entries: ("subscribe", shard, query_id, terms, options),
         #: ("unsubscribe", shard, query_id), ("publish", doc_id tuple).
         self._journal: List[Tuple] = []
         self._checkpoints: List[Optional[Dict]] = [None] * n_workers
@@ -340,6 +340,7 @@ class ParallelShardedEngine:
                     "subscribe",
                     entry[2],
                     encode_query_terms(entry[3], self._vocab),
+                    entry[4],
                     vocab=self._vocab,
                 )
             elif kind == "unsubscribe" and entry[1] == shard:
@@ -426,16 +427,20 @@ class ParallelShardedEngine:
                 f"query {query.query_id} already subscribed"
             )
         shard = self._route(query)
+        options = (query.location, query.window)
         doc_ids = self._request(
             shard,
             "subscribe",
             query.query_id,
             encode_query_terms(query.terms, self._vocab),
+            options,
         )
         self._assignment[query.query_id] = shard
         if self._last_query_id is None or query.query_id > self._last_query_id:
             self._last_query_id = query.query_id
-        self._journal.append(("subscribe", shard, query.query_id, query.terms))
+        self._journal.append(
+            ("subscribe", shard, query.query_id, query.terms, options)
+        )
         return [self._documents[doc_id] for doc_id in doc_ids]
 
     def unsubscribe(self, query_id: int) -> None:
@@ -527,30 +532,26 @@ class ParallelShardedEngine:
                     self._last_doc_id = document.doc_id
         wire["reply_bytes"] += sum(len(blob) for blob in per_shard)
         per_shard = [
-            decode_notification_records(blob) for blob in per_shard
+            decode_notification_segments(blob) for blob in per_shard
         ]
         merged: List[Notification] = []
-        positions = [0] * len(per_shard)
         documents_by_id = self._documents
-        for document in docs:
-            doc_id = document.doc_id
-            for index, stream in enumerate(per_shard):
-                position = positions[index]
-                while (
-                    position < len(stream) and stream[position][1] == doc_id
-                ):
-                    query_id, _, replaced_id = stream[position]
+        # Merge by segment position, not by subject doc id: strategy
+        # modes notify about documents other than the published one
+        # (window promotions), so both the subject and the replaced
+        # document resolve through the parent mirror.
+        for position in range(len(docs)):
+            for segments in per_shard:
+                for query_id, doc_id, replaced_id in segments[position]:
                     merged.append(
                         Notification(
                             query_id,
-                            document,
+                            documents_by_id[doc_id],
                             documents_by_id[replaced_id]
                             if replaced_id is not None
                             else None,
                         )
                     )
-                    position += 1
-                positions[index] = position
         return merged
 
     def results(self, query_id: int) -> List[Document]:
@@ -680,6 +681,7 @@ class ParallelShardedEngine:
                         ),
                         float(record["t"]),
                         record.get("text"),
+                        record.get("loc"),
                     )
         if engine._documents:
             engine._last_doc_id = max(engine._documents)

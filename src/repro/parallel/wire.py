@@ -25,7 +25,7 @@ caller.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro import errors as _errors
 from repro.core.query import DasQuery
@@ -34,7 +34,9 @@ from repro.stream.document import Document
 from repro.text.vectors import TermVector
 from repro.text.vocabulary import Vocabulary
 
-#: A document on the wire: (doc_id, created_at, term_ids, term_counts, text).
+#: A document on the wire: (doc_id, created_at, term_ids, term_counts,
+#: text[, location]).  The sixth element is optional — payloads without
+#: a location stay five-tuples, keeping the pre-strategy wire shape.
 DocumentPayload = Tuple[int, float, Tuple[int, ...], Tuple[int, ...], object]
 
 
@@ -48,20 +50,26 @@ def encode_document(document: Document, vocab: Vocabulary) -> DocumentPayload:
     pairs = sorted(
         (vocab.add(term), count) for term, count in document.vector.items()
     )
-    return (
+    payload = (
         document.doc_id,
         document.created_at,
         tuple(pair[0] for pair in pairs),
         tuple(pair[1] for pair in pairs),
         document.text,
     )
+    if document.location is not None:
+        payload += (document.location,)
+    return payload
 
 
 def decode_document(payload: DocumentPayload, vocab: Vocabulary) -> Document:
     """Inverse of :func:`encode_document` against the replica vocabulary."""
-    doc_id, created_at, ids, counts, text = payload
+    doc_id, created_at, ids, counts, text = payload[:5]
+    location = payload[5] if len(payload) > 5 else None
     tf = {vocab.term_of(i): count for i, count in zip(ids, counts)}
-    return Document(int(doc_id), TermVector(tf), float(created_at), text)
+    return Document(
+        int(doc_id), TermVector(tf), float(created_at), text, location
+    )
 
 
 def encode_query_terms(
@@ -71,11 +79,22 @@ def encode_query_terms(
     return tuple(vocab.add(term) for term in terms)
 
 
+def encode_query_options(query: DasQuery) -> Tuple[object, object]:
+    """The strategy-mode subscribe options as a tiny picklable pair."""
+    return (query.location, query.window)
+
+
 def decode_query(
-    query_id: int, term_ids: Tuple[int, ...], vocab: Vocabulary
+    query_id: int,
+    term_ids: Tuple[int, ...],
+    vocab: Vocabulary,
+    options: Optional[Tuple[object, object]] = None,
 ) -> DasQuery:
     """Rebuild a :class:`DasQuery` (it re-sorts and dedups internally)."""
-    return DasQuery(int(query_id), vocab.decode(term_ids))
+    location, window = options if options is not None else (None, None)
+    return DasQuery(
+        int(query_id), vocab.decode(term_ids), location=location, window=window
+    )
 
 
 #: A notification on the wire: (query_id, doc_id, replaced_doc_id | None).
@@ -100,6 +119,9 @@ def encode_notifications(notifications) -> List[NotificationPayload]:
 _BATCH_HEADER = struct.Struct("<I")
 _DOC_HEADER = struct.Struct("<qdII")
 _RECORD = struct.Struct("<qqq")
+#: Per-document location trailer: u8 presence flag, then two f64 when set.
+_LOC_FLAG = struct.Struct("<B")
+_LOC_PAIR = struct.Struct("<dd")
 #: ``text_len`` sentinel distinguishing ``None`` from the empty string.
 _TEXT_NONE = 0xFFFFFFFF
 
@@ -115,13 +137,16 @@ def encode_document_batch(payloads: Sequence[DocumentPayload]) -> bytes:
 
     Layout: ``u32 ndocs`` then per document ``i64 doc_id, f64 created_at,
     u32 nterms, u32 text_len`` followed by ``nterms`` u32 term ids,
-    ``nterms`` u16 term counts and the utf-8 text bytes (``text_len`` is
-    the :data:`_TEXT_NONE` sentinel for ``None``).  Raises one of
+    ``nterms`` u16 term counts, the utf-8 text bytes (``text_len`` is
+    the :data:`_TEXT_NONE` sentinel for ``None``) and a location trailer:
+    ``u8 has_location`` then ``f64 x, f64 y`` when set.  Raises one of
     :data:`WIRE_OVERFLOW` when a field does not fit — the caller then
     ships the batch over the pipe instead.
     """
     parts = [_BATCH_HEADER.pack(len(payloads))]
-    for doc_id, created_at, ids, counts, text in payloads:
+    for payload in payloads:
+        doc_id, created_at, ids, counts, text = payload[:5]
+        location = payload[5] if len(payload) > 5 else None
         if text is None:
             text_bytes = b""
             text_len = _TEXT_NONE
@@ -135,6 +160,11 @@ def encode_document_batch(payloads: Sequence[DocumentPayload]) -> bytes:
         parts.append(struct.pack(f"<{n}I", *ids))
         parts.append(struct.pack(f"<{n}H", *counts))
         parts.append(text_bytes)
+        if location is None:
+            parts.append(_LOC_FLAG.pack(0))
+        else:
+            parts.append(_LOC_FLAG.pack(1))
+            parts.append(_LOC_PAIR.pack(location[0], location[1]))
     return b"".join(parts)
 
 
@@ -161,7 +191,14 @@ def iter_document_payloads(buffer) -> Iterator[DocumentPayload]:
         else:
             text = bytes(buffer[offset : offset + text_len]).decode("utf-8")
             offset += text_len
-        yield (doc_id, created_at, ids, counts, text)
+        (has_location,) = _LOC_FLAG.unpack_from(buffer, offset)
+        offset += _LOC_FLAG.size
+        if has_location:
+            location = _LOC_PAIR.unpack_from(buffer, offset)
+            offset += _LOC_PAIR.size
+            yield (doc_id, created_at, ids, counts, text, location)
+        else:
+            yield (doc_id, created_at, ids, counts, text)
 
 
 def decode_document_batch(buffer) -> List[DocumentPayload]:
@@ -202,6 +239,41 @@ def decode_notification_records(data) -> List[NotificationPayload]:
             (query_id, doc_id, replaced_id if replaced_id >= 0 else None)
         )
     return triples
+
+
+def encode_notification_segments(segments) -> bytes:
+    """Pack per-document notification segments (the publish reply form).
+
+    ``u32 nsegments`` then per segment a
+    :func:`encode_notification_records` blob.  The parent merges
+    notification streams across shards by *segment position* — strategy
+    modes may notify about documents other than the published one
+    (window promotions), so the segment boundary is the only reliable
+    document attribution.
+    """
+    parts = [_BATCH_HEADER.pack(len(segments))]
+    for notifications in segments:
+        parts.append(encode_notification_records(notifications))
+    return b"".join(parts)
+
+
+def decode_notification_segments(data) -> List[List[NotificationPayload]]:
+    """Inverse of :func:`encode_notification_segments` -> triple lists."""
+    (nsegments,) = _BATCH_HEADER.unpack_from(data, 0)
+    offset = _BATCH_HEADER.size
+    segments: List[List[NotificationPayload]] = []
+    for _ in range(nsegments):
+        (count,) = _BATCH_HEADER.unpack_from(data, offset)
+        offset += _BATCH_HEADER.size
+        triples: List[NotificationPayload] = []
+        for _ in range(count):
+            query_id, doc_id, replaced_id = _RECORD.unpack_from(data, offset)
+            offset += _RECORD.size
+            triples.append(
+                (query_id, doc_id, replaced_id if replaced_id >= 0 else None)
+            )
+        segments.append(triples)
+    return segments
 
 
 def encode_error(exc: BaseException) -> Tuple[str, str, str]:

@@ -25,8 +25,8 @@ Documents arrive on one of two transports:
 
 Both transports observe ``wire_decode`` once per document and
 ``wire_encode`` once per reply into the telemetry snapshot's ``"wire"``
-section, and both reply with the compact fixed-width record blob of
-:func:`~repro.parallel.wire.encode_notification_records`.
+section, and both reply with the compact per-document segment blob of
+:func:`~repro.parallel.wire.encode_notification_segments`.
 
 Fault injection: the parent may hand the *initial* worker a fault-plan
 string.  Its ``worker.publish_batch`` point fires once per publish batch
@@ -50,7 +50,7 @@ from repro.parallel.wire import (
     decode_document,
     decode_query,
     encode_error,
-    encode_notification_records,
+    encode_notification_segments,
     iter_document_payloads,
 )
 from repro.persistence.checkpoint import (
@@ -147,9 +147,9 @@ def _publish(engine: DasEngine, vocab: Vocabulary, source):
     """Shared tail of both publish transports: decode, publish, reply."""
     telemetry = engine.telemetry
     documents = _decode_timed(source, vocab, telemetry)
-    notifications = engine.publish_batch(documents)
+    segments = engine.publish_batch_segmented(documents)
     started = time.perf_counter()
-    blob = encode_notification_records(notifications)
+    blob = encode_notification_segments(segments)
     if telemetry is not None:
         telemetry.observe_wire("wire_encode", time.perf_counter() - started)
     return blob
@@ -178,7 +178,8 @@ def _dispatch(
         finally:
             view.release()
     if op == "subscribe":
-        query = decode_query(args[0], args[1], vocab)
+        options = args[2] if len(args) > 2 else None
+        query = decode_query(args[0], args[1], vocab, options)
         initial = engine.subscribe(query)
         return [document.doc_id for document in initial], engine
     if op == "unsubscribe":

@@ -48,6 +48,10 @@ def _config_to_dict(config: EngineConfig) -> Dict:
         "init_scan_limit": config.init_scan_limit,
         "store_capacity": config.store_capacity,
         "backend": config.backend,
+        "mode": config.mode,
+        "window_size": config.window_size,
+        "spatial_cells": config.spatial_cells,
+        "spatial_weight": config.spatial_weight,
     }
 
 
@@ -60,35 +64,41 @@ def _config_from_dict(payload: Dict) -> EngineConfig:
 def checkpoint(engine: DasEngine) -> Dict:
     """Capture the engine's full logical state as a JSON-safe dict."""
     stats = engine.stats
-    documents = [
-        {
+    documents = []
+    for document in engine.store:
+        record = {
             "id": document.doc_id,
             "tf": dict(document.vector.items()),
             "t": document.created_at,
             "text": document.text,
         }
-        for document in engine.store
-    ]
+        if document.location is not None:
+            record["loc"] = list(document.location)
+        documents.append(record)
     queries = []
     for query_id in sorted(engine._queries):
         query = engine._queries[query_id]
-        result_set = engine._result_sets[query_id]
-        queries.append(
-            {
-                "id": query_id,
-                "terms": list(query.terms),
-                "results": [
-                    {
-                        "doc": entry.document.doc_id,
-                        "trel": entry.trel,
-                        "sim_acc": entry.sim_acc,
-                        "in_r1": entry.in_r1,
-                    }
-                    for entry in result_set.entries
-                ],
-            }
-        )
-    return {
+        record = {
+            "id": query_id,
+            "terms": list(query.terms),
+        }
+        if query.location is not None:
+            record["location"] = list(query.location)
+        if query.window is not None:
+            record["window"] = query.window
+        if engine.strategy is None:
+            result_set = engine._result_sets[query_id]
+            record["results"] = [
+                {
+                    "doc": entry.document.doc_id,
+                    "trel": entry.trel,
+                    "sim_acc": entry.sim_acc,
+                    "in_r1": entry.in_r1,
+                }
+                for entry in result_set.entries
+            ]
+        queries.append(record)
+    payload = {
         "version": CHECKPOINT_VERSION,
         "config": _config_to_dict(engine.config),
         "now": engine.clock.now,
@@ -101,6 +111,11 @@ def checkpoint(engine: DasEngine) -> Dict:
         "queries": queries,
         "counters": engine.counters.as_dict(),
     }
+    if engine.strategy is not None:
+        # Strategy modes own their result/candidate state; per-query
+        # ``results`` rows above are replaced by one strategy blob.
+        payload["strategy"] = engine.strategy.checkpoint_state()
+    return payload
 
 
 def restore(payload: Dict) -> DasEngine:
@@ -133,12 +148,25 @@ def restore(payload: Dict) -> DasEngine:
                 ),
                 float(record["t"]),
                 record.get("text"),
+                record.get("loc"),
             )
         )
 
     for record in payload["queries"]:
-        query = DasQuery(int(record["id"]), record["terms"])
-        _restore_query(engine, query, record["results"])
+        query = DasQuery(
+            int(record["id"]),
+            record["terms"],
+            location=record.get("location"),
+            window=record.get("window"),
+        )
+        if engine.strategy is not None:
+            engine._queries[query.query_id] = query
+            engine._last_query_id = query.query_id
+            engine.counters.queries_subscribed += 1
+        else:
+            _restore_query(engine, query, record["results"])
+    if engine.strategy is not None:
+        engine.strategy.restore_state(payload["strategy"])
 
     engine.clock.advance_to(float(payload["now"]))
 

@@ -33,8 +33,18 @@ from repro.errors import ReproError
 ENTRY_KINDS = ("subscribe", "unsubscribe", "publish")
 
 
-def subscribe_entry(query_id: int, terms: Sequence[str]) -> List[Any]:
-    return ["subscribe", int(query_id), [str(term) for term in terms]]
+def subscribe_entry(
+    query_id: int,
+    terms: Sequence[str],
+    options: Optional[Dict[str, Any]] = None,
+) -> List[Any]:
+    """``options`` carries the strategy-mode subscribe fields
+    (``location``, ``window``); entries without options keep the legacy
+    3-element shape so old journals replay unchanged."""
+    entry: List[Any] = ["subscribe", int(query_id), [str(term) for term in terms]]
+    if options:
+        entry.append(dict(options))
+    return entry
 
 
 def unsubscribe_entry(query_id: int) -> List[Any]:
@@ -62,14 +72,18 @@ def validate_entry(entry: Any) -> Tuple:
         )
     if kind == "subscribe":
         if (
-            len(entry) != 3
+            len(entry) not in (3, 4)
             or not isinstance(entry[1], int)
             or not isinstance(entry[2], (list, tuple))
+            or (len(entry) == 4 and not isinstance(entry[3], dict))
         ):
             raise ReproError(
-                "subscribe entry must be ['subscribe', query_id, [terms]]"
+                "subscribe entry must be "
+                "['subscribe', query_id, [terms]] or "
+                "['subscribe', query_id, [terms], {options}]"
             )
-        return ("subscribe", entry[1], list(entry[2]))
+        options = dict(entry[3]) if len(entry) == 4 else {}
+        return ("subscribe", entry[1], list(entry[2]), options)
     if kind == "unsubscribe":
         if len(entry) != 2 or not isinstance(entry[1], int):
             raise ReproError(

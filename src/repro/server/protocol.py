@@ -97,6 +97,8 @@ def document_payload(document: Document) -> Dict[str, Any]:
     }
     if document.text is not None:
         payload["text"] = document.text
+    if document.location is not None:
+        payload["loc"] = list(document.location)
     return payload
 
 
@@ -109,6 +111,7 @@ def document_from_payload(payload: Dict[str, Any]) -> Document:
         TermVector(payload["tf"]),
         float(payload["created_at"]),
         payload.get("text"),
+        payload.get("loc"),
     )
 
 
@@ -180,6 +183,27 @@ def raise_for_reply(reply: Dict[str, Any]) -> Dict[str, Any]:
 # -- request validation (client -> server) --------------------------------
 
 
+def _validate_location(location: Any, op: str) -> None:
+    """Shape check for strategy-mode locations: an (x, y) number pair.
+
+    Range enforcement for *query* locations (unit square) stays with the
+    spatial strategy, which owns that semantic; here we only guarantee
+    the value cannot wedge the matcher."""
+    if location is None:
+        return
+    if (
+        not isinstance(location, (list, tuple))
+        or len(location) != 2
+        or any(
+            not isinstance(value, (int, float)) or isinstance(value, bool)
+            for value in location
+        )
+    ):
+        raise ProtocolError(
+            f"{op} 'location' must be a pair of numbers [x, y]"
+        )
+
+
 def parse_request(payload: Any) -> Dict[str, Any]:
     """Validate one inbound request object; raises :class:`ProtocolError`."""
     if not isinstance(payload, dict):
@@ -199,7 +223,18 @@ def parse_request(payload: Any) -> Dict[str, Any]:
             raise ProtocolError("subscribe requires 'keywords' or 'text'")
         if keywords is not None and not isinstance(keywords, (list, tuple)):
             raise ProtocolError("'keywords' must be a list of terms")
+        _validate_location(payload.get("location"), "subscribe")
+        window = payload.get("window")
+        if window is not None and (
+            not isinstance(window, int)
+            or isinstance(window, bool)
+            or window < 1
+        ):
+            raise ProtocolError(
+                "subscribe 'window' must be a positive integer"
+            )
     if op == "publish":
+        _validate_location(payload.get("location"), "publish")
         tokens = payload.get("tokens")
         text = payload.get("text")
         if tokens is None and text is None:

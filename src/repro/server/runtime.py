@@ -104,14 +104,22 @@ _STOP = object()
 
 
 class _PublishItem:
-    __slots__ = ("tokens", "text", "created_at", "future", "enqueued_at")
+    __slots__ = (
+        "tokens",
+        "text",
+        "created_at",
+        "location",
+        "future",
+        "enqueued_at",
+    )
 
     def __init__(
-        self, tokens, text, created_at, future, enqueued_at=0.0
+        self, tokens, text, created_at, future, enqueued_at=0.0, location=None
     ) -> None:
         self.tokens = tokens
         self.text = text
         self.created_at = created_at
+        self.location = location
         self.future = future
         #: Runtime clock reading at ingest-queue admission; the matcher
         #: observes ``dequeue - enqueued_at`` as ingest-queue wait.
@@ -181,13 +189,25 @@ class EngineFacade:
             return now()
         return self._shards()[0].clock.now
 
-    def subscribe(self, keywords: Iterable[str]) -> Tuple[int, List[Document]]:
+    def subscribe(
+        self,
+        keywords: Iterable[str],
+        location: Optional[Tuple[float, float]] = None,
+        window: Optional[int] = None,
+    ) -> Tuple[int, List[Document]]:
         if self._is_service:
+            if location is not None or window is not None:
+                raise ReproError(
+                    "subscribe options (location/window) are not supported "
+                    "for PublishSubscribeService engines"
+                )
             subscription = self._engine.subscribe(list(keywords))
             query_id = subscription.query_id
             return query_id, self._engine.results(query_id)
         query_id = max(self._next_query_id, self._query_floor())
-        initial = self._engine.subscribe(DasQuery(query_id, keywords))
+        initial = self._engine.subscribe(
+            DasQuery(query_id, keywords, location=location, window=window)
+        )
         self._next_query_id = query_id + 1
         return query_id, initial
 
@@ -200,7 +220,13 @@ class EngineFacade:
         """
         return max(self._next_query_id, self._query_floor())
 
-    def subscribe_as(self, query_id: int, keywords: Iterable[str]) -> List[Document]:
+    def subscribe_as(
+        self,
+        query_id: int,
+        keywords: Iterable[str],
+        location: Optional[Tuple[float, float]] = None,
+        window: Optional[int] = None,
+    ) -> List[Document]:
         """Subscribe under an externally assigned id (journal replay).
 
         The cluster tier assigns query ids coordinator-side so every
@@ -212,7 +238,9 @@ class EngineFacade:
             raise ReproError(
                 "replicate is not supported for PublishSubscribeService engines"
             )
-        initial = self._engine.subscribe(DasQuery(int(query_id), keywords))
+        initial = self._engine.subscribe(
+            DasQuery(int(query_id), keywords, location=location, window=window)
+        )
         self._next_query_id = max(self._next_query_id, int(query_id) + 1)
         return initial
 
@@ -594,11 +622,22 @@ class ServerRuntime:
         return await future
 
     async def subscribe(
-        self, session: SubscriberSession, keywords: Iterable[str]
+        self,
+        session: SubscriberSession,
+        keywords: Iterable[str],
+        location: Optional[Tuple[float, float]] = None,
+        window: Optional[int] = None,
     ) -> Tuple[int, List[Document]]:
-        """Register a subscription owned by ``session``."""
+        """Register a subscription owned by ``session``.
+
+        ``location``/``window`` are the strategy-mode subscribe options
+        (spatial anchor, per-query sliding-window override); they pass
+        straight through to :class:`~repro.core.query.DasQuery`, whose
+        validation — and the engine's mode check — surfaces as a
+        structured error to the caller.
+        """
         result = await self._submit_control(
-            "subscribe", session, tuple(keywords)
+            "subscribe", session, (tuple(keywords), location, window)
         )
         return result
 
@@ -616,6 +655,7 @@ class ServerRuntime:
         text: Optional[str] = None,
         created_at: Optional[float] = None,
         session: Optional[SubscriberSession] = None,
+        location: Optional[Tuple[float, float]] = None,
     ) -> Dict[str, float]:
         """Submit one document; resolves once its notifications are
         enqueued to every (non-stalled) subscriber session.
@@ -635,7 +675,12 @@ class ServerRuntime:
         future = self._loop.create_future()
         await self._ingest.put(
             _PublishItem(
-                tokens, text, created_at, future, enqueued_at=self._now()
+                tokens,
+                text,
+                created_at,
+                future,
+                enqueued_at=self._now(),
+                location=location,
             )
         )
         return await future
@@ -867,7 +912,13 @@ class ServerRuntime:
                     from repro.text.tokenizer import tokenize
 
                     keywords = tokenize(request["text"])
-                query_id, initial = await self.subscribe(session, keywords)
+                location = request.get("location")
+                query_id, initial = await self.subscribe(
+                    session,
+                    keywords,
+                    location=tuple(location) if location is not None else None,
+                    window=request.get("window"),
+                )
                 return ok_reply(
                     reply_to,
                     query_id=query_id,
@@ -877,11 +928,17 @@ class ServerRuntime:
                 await self.unsubscribe(request["query_id"], session=session)
                 return ok_reply(reply_to, query_id=request["query_id"])
             if op == "publish":
+                doc_location = request.get("location")
                 ack = await self.publish(
                     tokens=request.get("tokens"),
                     text=request.get("text"),
                     created_at=request.get("created_at"),
                     session=session,
+                    location=(
+                        tuple(doc_location)
+                        if doc_location is not None
+                        else None
+                    ),
                 )
                 return ok_reply(reply_to, **ack)
             if op == "resume":
@@ -993,9 +1050,10 @@ class ServerRuntime:
     async def _run_control(self, item: _ControlItem) -> None:
         try:
             if item.kind == "subscribe":
+                keywords, location, window = item.args
                 if self._eventlog is None:
                     query_id, initial = await self._call_engine(
-                        self._facade.subscribe, item.args
+                        self._facade.subscribe, keywords, location, window
                     )
                 else:
                     # WAL discipline: the subscribe record (naming the
@@ -1008,16 +1066,24 @@ class ServerRuntime:
                     )
                     self._eventlog.append(
                         subscribe_record(
-                            query_id, list(item.args), subscriber=name
+                            query_id,
+                            list(keywords),
+                            subscriber=name,
+                            location=location,
+                            window=window,
                         )
                     )
                     self._appended_since_checkpoint += 1
                     initial = await self._call_engine(
-                        self._facade.subscribe_as, query_id, item.args
+                        self._facade.subscribe_as,
+                        query_id,
+                        keywords,
+                        location,
+                        window,
                     )
                     if name is not None:
                         self._registry.record_subscribe(
-                            name, query_id, item.args
+                            name, query_id, keywords
                         )
                         self._durable_owners[query_id] = name
                 self._owners[query_id] = item.session
@@ -1121,12 +1187,16 @@ class ServerRuntime:
                             publish_item.tokens,
                             timestamp,
                             publish_item.text,
+                            publish_item.location,
                         )
                     )
                 else:
                     documents.append(
                         Document.from_text(
-                            doc_id, publish_item.text, timestamp
+                            doc_id,
+                            publish_item.text,
+                            timestamp,
+                            publish_item.location,
                         )
                     )
             return documents
@@ -1447,8 +1517,14 @@ class ServerRuntime:
             parsed = validate_entry(entry)
             kind = parsed[0]
             if kind == "subscribe":
-                _, query_id, terms = parsed
-                initial = self._facade.subscribe_as(query_id, terms)
+                _, query_id, terms, options = parsed
+                location = options.get("location")
+                initial = self._facade.subscribe_as(
+                    query_id,
+                    terms,
+                    location=tuple(location) if location is not None else None,
+                    window=options.get("window"),
+                )
                 results.append([doc.doc_id for doc in initial])
             elif kind == "unsubscribe":
                 self._facade.unsubscribe(parsed[1])

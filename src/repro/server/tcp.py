@@ -502,12 +502,18 @@ class NdjsonTcpClient:
         self,
         keywords: Optional[Iterable[str]] = None,
         text: Optional[str] = None,
+        location: Optional[Sequence[float]] = None,
+        window: Optional[int] = None,
     ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"op": "subscribe"}
         if keywords is not None:
             payload["keywords"] = list(keywords)
         if text is not None:
             payload["text"] = text
+        if location is not None:
+            payload["location"] = list(location)
+        if window is not None:
+            payload["window"] = window
         reply = await self.request(dict(payload))
         self._subscriptions[reply["query_id"]] = payload
         return reply
@@ -524,6 +530,7 @@ class NdjsonTcpClient:
         tokens: Optional[Sequence[str]] = None,
         text: Optional[str] = None,
         created_at: Optional[float] = None,
+        location: Optional[Sequence[float]] = None,
     ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"op": "publish"}
         if tokens is not None:
@@ -532,6 +539,8 @@ class NdjsonTcpClient:
             payload["text"] = text
         if created_at is not None:
             payload["created_at"] = created_at
+        if location is not None:
+            payload["location"] = list(location)
         return await self.request(payload)
 
     async def resume(

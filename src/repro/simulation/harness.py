@@ -68,32 +68,53 @@ def default_engine_config(**overrides) -> EngineConfig:
     return EngineConfig(**base)
 
 
-def generate_schedule(rng: random.Random, n_ops: int) -> List[Dict]:
-    """A concrete op list — every choice resolved before execution."""
+def generate_schedule(
+    rng: random.Random, n_ops: int, mode: str = "decay"
+) -> List[Dict]:
+    """A concrete op list — every choice resolved before execution.
+
+    ``mode`` shapes the strategy-specific fields: spatial schedules give
+    every query a location and most documents one (a few stay
+    location-less to exercise the zero-proximity path); window schedules
+    give roughly half the queries a per-query window override.  The
+    decay path draws exactly the same random sequence as before the
+    strategy modes existed, so seeded decay schedules are unchanged.
+    """
     ops: List[Dict] = []
     for index in range(n_ops):
         roll = rng.random()
         if index < 3 or roll < 0.18:
-            ops.append(
-                {
-                    "op": "subscribe",
-                    "actor": rng.randrange(len(ACTORS)),
-                    "keywords": rng.sample(VOCAB, rng.randint(2, 4)),
-                }
-            )
+            op = {
+                "op": "subscribe",
+                "actor": rng.randrange(len(ACTORS)),
+                "keywords": rng.sample(VOCAB, rng.randint(2, 4)),
+            }
+            if mode == "spatial":
+                op["location"] = [rng.random(), rng.random()]
+            elif mode == "window" and rng.random() < 0.5:
+                op["window"] = rng.randint(2, 12)
+            ops.append(op)
         elif roll < 0.24:
             ops.append({"op": "unsubscribe", "index": rng.randrange(64)})
         elif roll < 0.72:
             burst = 1 if rng.random() < 0.6 else rng.randint(2, 4)
-            ops.append(
-                {
-                    "op": "publish",
-                    "burst": [
-                        [rng.choice(VOCAB) for _ in range(rng.randint(2, 6))]
-                        for _ in range(burst)
-                    ],
-                }
-            )
+            op = {
+                "op": "publish",
+                "burst": [
+                    [rng.choice(VOCAB) for _ in range(rng.randint(2, 6))]
+                    for _ in range(burst)
+                ],
+            }
+            if mode == "spatial":
+                op["locations"] = [
+                    (
+                        [rng.random(), rng.random()]
+                        if rng.random() < 0.85
+                        else None
+                    )
+                    for _ in range(burst)
+                ]
+            ops.append(op)
         elif roll < 0.86:
             ops.append({"op": "results", "index": rng.randrange(64)})
         else:
@@ -207,7 +228,9 @@ class SimulationHarness:
         return runtime, sessions
 
     async def _run(self) -> Dict:
-        schedule = generate_schedule(random.Random(self.seed), self.n_ops)
+        schedule = generate_schedule(
+            random.Random(self.seed), self.n_ops, self.engine_config.mode
+        )
         clock = SimulatedClock()
         injector = self.plan.injector() if self.plan is not None else None
         engine = DasEngine(
@@ -323,6 +346,7 @@ class SimulationHarness:
         stats = runtime.stats()
         report = {
             "seed": self.seed,
+            "mode": self.engine_config.mode,
             "scheduled_ops": self.n_ops,
             "executed_ops": len(schedule),
             "fault_plan": str(self.plan) if self.plan is not None else "",
@@ -371,8 +395,12 @@ class SimulationHarness:
     ) -> None:
         kind = op["op"]
         if kind == "subscribe":
+            location = op.get("location")
             query_id, _initial = await runtime.subscribe(
-                sessions[op["actor"]], op["keywords"]
+                sessions[op["actor"]],
+                op["keywords"],
+                location=tuple(location) if location is not None else None,
+                window=op.get("window"),
             )
             active.append((query_id, op["actor"]))
         elif kind == "unsubscribe":
@@ -381,12 +409,14 @@ class SimulationHarness:
                 await runtime.unsubscribe(query_id)
         elif kind == "publish":
             bursts = op["burst"]
+            locations = op.get("locations") or [None] * len(bursts)
             if injector is not None:
                 spec = injector.fire("client.publish")
                 if spec is not None:
                     if spec.action == "duplicate":
                         # A client retry: the same payloads resubmitted.
                         bursts = bursts + bursts
+                        locations = locations + locations
                     elif spec.action == "delay":
                         position = min(
                             index + 1 + max(1, spec.arg), len(schedule)
@@ -394,7 +424,15 @@ class SimulationHarness:
                         schedule.insert(position, op)
                         return
             acks = await asyncio.gather(
-                *(runtime.publish(tokens=tokens) for tokens in bursts),
+                *(
+                    runtime.publish(
+                        tokens=tokens,
+                        location=(
+                            tuple(location) if location is not None else None
+                        ),
+                    )
+                    for tokens, location in zip(bursts, locations)
+                ),
                 return_exceptions=True,
             )
             for ack in acks:

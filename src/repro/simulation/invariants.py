@@ -46,11 +46,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.naive import NaiveEngine
 from repro.core.engine import DasEngine
 from repro.core.events import Notification
 from repro.core.filtering import TIE_EPSILON, block_threshold_lower_bound
 from repro.core.query import DasQuery
+from repro.core.strategies import make_oracle
 from repro.scoring.diversity import diversity_coefficient
 from repro.stream.document import Document
 
@@ -88,8 +88,10 @@ class InvariantMonitor:
         tolerance: float = 1e-6,
     ) -> None:
         self._engine = engine
-        self._oracle: Optional[NaiveEngine] = (
-            NaiveEngine(engine.config) if with_oracle else None
+        #: Mode-matched brute-force reference: NaiveEngine for decay,
+        #: WindowOracle/SpatialOracle for the strategy modes.
+        self._oracle: Optional[object] = (
+            make_oracle(engine.config) if with_oracle else None
         )
         self._tolerance = tolerance
         #: Per-full-query pre-publish snapshot for the Lemma 1 check.
@@ -101,6 +103,7 @@ class InvariantMonitor:
             "size": 0,
             "lemma1": 0,
             "bounds": 0,
+            "strategy": 0,
             "oracle": 0,
             "telemetry": 0,
             "eventlog": 0,
@@ -165,6 +168,10 @@ class InvariantMonitor:
         reconstruct both sides of the Lemma 1 comparison from deltas.
         """
         self._pre = {}
+        if getattr(self._engine, "strategy", None) is not None:
+            # Strategy modes have no decay result tables; their
+            # replacement discipline is audited by check_strategy().
+            return
         for query_id, result_set in self._engine._result_sets.items():
             if not result_set.is_full:
                 continue
@@ -185,6 +192,10 @@ class InvariantMonitor:
         self, document: Document, notifications: Sequence[Notification]
     ) -> None:
         """Verify Lemma 1 for every replacement, then mirror the oracle."""
+        if getattr(self._engine, "strategy", None) is not None:
+            if self._oracle is not None:
+                self._oracle.publish(document)
+            return
         config = self._engine.config
         now = self._engine.clock.now
         coeff = diversity_coefficient(config.alpha, config.k)
@@ -273,13 +284,42 @@ class InvariantMonitor:
     def check_all(self) -> None:
         self.check_sizes()
         self.check_bounds()
+        self.check_strategy()
         self.check_oracle()
         self.check_telemetry()
 
+    def check_strategy(self) -> None:
+        """Strategy-supplied invariants (window/spatial modes).
+
+        Each strategy audits its own structural obligations — window
+        bounds, candidate-buffer consistency, grid filing, cached
+        threshold coherence — through
+        :meth:`repro.core.strategies.Strategy.check_invariants`; the
+        monitor only collects the reported violations.  No-op for the
+        decay mode, whose obligations are the Lemma 1 / Eq. 12 checks
+        above.
+        """
+        strategy = getattr(self._engine, "strategy", None)
+        if strategy is None:
+            return
+        self.checks["strategy"] += 1
+        for detail in strategy.check_invariants():
+            self._record("strategy", detail)
+
     def check_sizes(self) -> None:
-        """``|q.R| <= k`` and entries in stream (oldest-first) order."""
+        """``|q.R| <= k``; for the decay mode also stream-order entries."""
         self.checks["size"] += 1
         k = self._engine.config.k
+        if getattr(self._engine, "strategy", None) is not None:
+            # Strategy result sets are ranked best-first, not stream
+            # ordered; only the size cap is mode-independent.
+            for query_id in list(self._engine._queries):
+                size = len(self._engine.results(query_id))
+                if size > k:
+                    self._record(
+                        "size", f"q{query_id} holds {size} results, k={k}"
+                    )
+            return
         for query_id, result_set in self._engine._result_sets.items():
             size = len(result_set.entries)
             if size > k:
@@ -303,6 +343,10 @@ class InvariantMonitor:
         """
         engine = self._engine
         if not engine.config.use_blocks:
+            return
+        if getattr(engine, "strategy", None) is not None:
+            # Strategy modes bypass the inverted file; Eq. 12 block
+            # metadata never forms.
             return
         self.checks["bounds"] += 1
         now = engine.clock.now
@@ -572,6 +616,11 @@ class InstrumentedEngine:
         for document in documents:
             notifications.extend(self._publish_one(document))
         return notifications
+
+    def publish_batch_segmented(
+        self, documents, decay_cache=None
+    ) -> List[List[Notification]]:
+        return [self._publish_one(document) for document in documents]
 
     def _publish_one(self, document: Document) -> List[Notification]:
         if self._injector is not None:

@@ -8,15 +8,20 @@ examples and the user-study proxy.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.text.vectors import TermVector
 
 
 class Document:
-    """A single published item of the text stream."""
+    """A single published item of the text stream.
 
-    __slots__ = ("doc_id", "vector", "created_at", "text")
+    ``location`` is an optional ``(x, y)`` pair in the unit square used
+    by the spatial-keyword strategy mode; documents without one score
+    zero proximity there and behave identically in the other modes.
+    """
+
+    __slots__ = ("doc_id", "vector", "created_at", "text", "location")
 
     def __init__(
         self,
@@ -24,11 +29,17 @@ class Document:
         vector: TermVector,
         created_at: float,
         text: Optional[str] = None,
+        location: Optional[Tuple[float, float]] = None,
     ) -> None:
         self.doc_id = doc_id
         self.vector = vector
         self.created_at = created_at
         self.text = text
+        self.location = (
+            (float(location[0]), float(location[1]))
+            if location is not None
+            else None
+        )
 
     @classmethod
     def from_tokens(
@@ -37,12 +48,21 @@ class Document:
         tokens: Iterable[str],
         created_at: float,
         text: Optional[str] = None,
+        location: Optional[Tuple[float, float]] = None,
     ) -> "Document":
-        return cls(doc_id, TermVector.from_tokens(tokens), created_at, text)
+        return cls(
+            doc_id, TermVector.from_tokens(tokens), created_at, text, location
+        )
 
     @classmethod
-    def from_text(cls, doc_id: int, text: str, created_at: float) -> "Document":
-        return cls(doc_id, TermVector.from_text(text), created_at, text)
+    def from_text(
+        cls,
+        doc_id: int,
+        text: str,
+        created_at: float,
+        location: Optional[Tuple[float, float]] = None,
+    ) -> "Document":
+        return cls(doc_id, TermVector.from_text(text), created_at, text, location)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Document):

@@ -8,14 +8,18 @@ from repro.workloads.schedule import (
     interleave,
     split_into_intervals,
 )
+from repro.workloads.storms import churn_storm, flash_crowd, storm_suite
 
 __all__ = [
     "Event",
     "EventKind",
     "SyntheticTweetCorpus",
+    "churn_storm",
+    "flash_crowd",
     "interleave",
     "lqd_queries",
     "split_into_intervals",
     "sqd_queries",
+    "storm_suite",
     "zipf_weights",
 ]

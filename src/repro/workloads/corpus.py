@@ -128,6 +128,14 @@ class SyntheticTweetCorpus:
             for terms in self.topic_terms
         ]
         self._global_cum = _cumulative(zipf_weights(vocab_size, term_exponent))
+        # Spatial anchors for the spatial-keyword mode: each topic gets a
+        # fixed centre in the unit square, so geo-tagged documents about
+        # one topic cluster — the regime where grid-cell pruning pays.
+        centre_rng = random.Random(seed + 2)
+        self.topic_centers: List[Tuple[float, float]] = [
+            (centre_rng.random(), centre_rng.random())
+            for _ in range(n_topics)
+        ]
         self._rng = random.Random(seed + 1)
 
     # -- generation -------------------------------------------------------------
@@ -150,6 +158,29 @@ class SyntheticTweetCorpus:
             tokens.append(token)
         return tokens
 
+    def generate_location(
+        self,
+        rng: Optional[random.Random] = None,
+        topic: Optional[int] = None,
+        spread: float = 0.08,
+    ) -> Tuple[float, float]:
+        """A unit-square location clustered around a topic centre.
+
+        ``topic`` defaults to a fresh Zipf draw (location topics need not
+        match token topics — real geo-tags are noisy); ``spread`` is the
+        Gaussian radius around the centre, clamped into the unit square.
+        """
+        rng = rng if rng is not None else self._rng
+        if topic is None:
+            (topic,) = rng.choices(
+                range(self.n_topics), cum_weights=self._topic_cum
+            )
+        cx, cy = self.topic_centers[topic]
+        return (
+            min(1.0, max(0.0, rng.gauss(cx, spread))),
+            min(1.0, max(0.0, rng.gauss(cy, spread))),
+        )
+
     def token_stream(
         self, rng: Optional[random.Random] = None
     ) -> Iterator[List[str]]:
@@ -165,8 +196,14 @@ class SyntheticTweetCorpus:
         interval: float = 1.0,
         first_id: int = 0,
         rng: Optional[random.Random] = None,
+        with_locations: bool = False,
     ) -> List[Document]:
-        """Materialise ``n`` stream documents with regular arrivals."""
+        """Materialise ``n`` stream documents with regular arrivals.
+
+        ``with_locations`` attaches a clustered unit-square location to
+        every document (the spatial-keyword mode's input shape); the
+        default leaves the token stream's random sequence untouched.
+        """
         rng = rng if rng is not None else self._rng
         documents = []
         timestamp = start_time
@@ -178,6 +215,9 @@ class SyntheticTweetCorpus:
                     TermVector.from_tokens(tokens),
                     timestamp,
                     text=" ".join(tokens),
+                    location=(
+                        self.generate_location(rng) if with_locations else None
+                    ),
                 )
             )
             timestamp += interval
@@ -189,6 +229,7 @@ class SyntheticTweetCorpus:
         interval: float = 1.0,
         first_id: int = 0,
         rng: Optional[random.Random] = None,
+        with_locations: bool = False,
     ) -> Iterator[Document]:
         """Endless stream of documents with regular arrivals."""
         rng = rng if rng is not None else self._rng
@@ -201,6 +242,9 @@ class SyntheticTweetCorpus:
                 TermVector.from_tokens(tokens),
                 timestamp,
                 text=" ".join(tokens),
+                location=(
+                    self.generate_location(rng) if with_locations else None
+                ),
             )
             doc_id += 1
             timestamp += interval

@@ -64,7 +64,11 @@ def interleave(
     for index, document in enumerate(documents):
         timestamp = start_time + index * doc_interval
         stamped = Document(
-            document.doc_id, document.vector, timestamp, document.text
+            document.doc_id,
+            document.vector,
+            timestamp,
+            document.text,
+            document.location,
         )
         events.append(Event(timestamp, EventKind.DOCUMENT, stamped))
     query_interval = 1.0 / query_rate if query_rate > 0 else 0.0

@@ -101,6 +101,13 @@ def test_derived_rows():
     # Only the ratio row is gated; the raw byte figures are not rates.
     assert "wire.shm_pipe_bytes_per_doc" not in rates
 
+    publish = json.loads(json.dumps(PUBLISH_PAYLOAD))
+    publish["window_overhead"] = 0.9
+    publish["modes"] = {"decay": 1500.0, "window": 1350.0}
+    rates = collect_rates(publish)
+    assert rates["derived.window_overhead"] == 0.9
+    assert rates["modes.window"] == 1350.0
+
 
 def test_derived_speedup_regression_fails_gate():
     """An auto backend that falls back below python trips the gate even

@@ -22,8 +22,13 @@ def test_entry_builders_are_json_safe_lists():
 
 
 def test_validate_entry_accepts_all_builder_shapes():
+    # Subscribe entries normalise to a 4-tuple; legacy 3-element entries
+    # (no strategy options) come back with an empty options dict.
     assert validate_entry(subscribe_entry(1, ["x"])) == (
-        "subscribe", 1, ["x"],
+        "subscribe", 1, ["x"], {},
+    )
+    assert validate_entry(subscribe_entry(2, ["x"], {"window": 4})) == (
+        "subscribe", 2, ["x"], {"window": 4},
     )
     assert validate_entry(unsubscribe_entry(1)) == ("unsubscribe", 1)
     docs = [{"doc_id": 4, "tf": {}, "created_at": 0.0}]

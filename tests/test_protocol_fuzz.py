@@ -13,10 +13,11 @@ import asyncio
 import json
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import ServerConfig
+from repro.config import EngineConfig, ServerConfig
 from repro.core.engine import DasEngine
 from repro.errors import ProtocolError
 from repro.server import NdjsonTcpClient, NdjsonTcpServer, ServerRuntime
@@ -213,6 +214,160 @@ def test_malformed_cluster_ops_get_structured_error_replies():
             assert good[0]["node"]["applied_offset"] == 0
             assert good[1]["ok"] is True
             assert good[1]["offset"] == 1
+        finally:
+            await server.stop()
+            await runtime.stop()
+
+    run(scenario())
+
+
+#: Malformed strategy-option frames (ISSUE 10, S3): bad ``window`` and
+#: ``location`` subscribe/publish options must produce structured error
+#: replies — never a wedged matcher, never a half-registered query.
+STRATEGY_MALFORMED_LINES = [
+    b'{"op": "subscribe", "keywords": ["w"], "window": "5"}\n',
+    b'{"op": "subscribe", "keywords": ["w"], "window": true}\n',
+    b'{"op": "subscribe", "keywords": ["w"], "window": 0}\n',
+    b'{"op": "subscribe", "keywords": ["w"], "window": -3}\n',
+    b'{"op": "subscribe", "keywords": ["w"], "window": 1.5}\n',
+    b'{"op": "subscribe", "keywords": ["w"], "location": "here"}\n',
+    b'{"op": "subscribe", "keywords": ["w"], "location": 5}\n',
+    b'{"op": "subscribe", "keywords": ["w"], "location": [0.5]}\n',
+    b'{"op": "subscribe", "keywords": ["w"], "location": [0.1, 0.2, 0.3]}\n',
+    b'{"op": "subscribe", "keywords": ["w"], "location": ["a", "b"]}\n',
+    b'{"op": "subscribe", "keywords": ["w"], "location": [true, false]}\n',
+    b'{"op": "subscribe", "keywords": ["w"], "location": {"x": 1}}\n',
+    b'{"op": "publish", "tokens": ["w"], "location": [1]}\n',
+    b'{"op": "publish", "tokens": ["w"], "location": ["x", "y"]}\n',
+    b'{"op": "publish", "tokens": ["w"], "location": "0.5,0.5"}\n',
+]
+
+
+async def reply_exchange(host, port, lines):
+    """Like :func:`raw_exchange` but skips server-pushed notification
+    frames (no ``ok`` key), returning only the request replies."""
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=MAX_LINE_BYTES
+    )
+    replies = []
+    try:
+        for line in lines:
+            writer.write(line)
+            await writer.drain()
+            while True:
+                reply = await asyncio.wait_for(reader.readline(), 5.0)
+                assert reply, "connection died mid-exchange"
+                payload = json.loads(reply)
+                if "ok" in payload:
+                    replies.append(payload)
+                    break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return replies
+
+
+async def start_mode_stack(mode):
+    config = EngineConfig(
+        k=3,
+        block_size=4,
+        backend="python",
+        mode=mode,
+        window_size=8,
+        spatial_cells=3,
+    )
+    runtime = ServerRuntime(
+        DasEngine(config),
+        ServerConfig(outbound_capacity=256, drain_timeout=5.0, port=0),
+    )
+    await runtime.start()
+    server = NdjsonTcpServer(runtime)
+    host, port = await server.start()
+    return runtime, server, host, port
+
+
+@pytest.mark.parametrize("mode", ["decay", "window", "spatial"])
+def test_malformed_strategy_options_get_structured_errors(mode):
+    """Bad window/location options are rejected with structured errors in
+    every engine mode, and the matcher keeps serving afterwards."""
+
+    async def scenario():
+        runtime, server, host, port = await start_mode_stack(mode)
+        try:
+            replies = await raw_exchange(host, port, STRATEGY_MALFORMED_LINES)
+            assert len(replies) == len(STRATEGY_MALFORMED_LINES)
+            for line, reply in zip(STRATEGY_MALFORMED_LINES, replies):
+                assert reply["ok"] is False, line
+                assert "type" in reply["error"], line
+                assert "message" in reply["error"], line
+            # None of the rejected subscribes half-registered a query and
+            # a well-formed subscribe (with mode-appropriate options)
+            # still lands and matches.
+            subscribe = {"op": "subscribe", "keywords": ["w"], "id": 1}
+            if mode == "spatial":
+                subscribe["location"] = [0.5, 0.5]
+            elif mode == "window":
+                subscribe["window"] = 4
+            good = await reply_exchange(
+                host,
+                port,
+                [
+                    json.dumps(subscribe).encode() + b"\n",
+                    b'{"op": "publish", "tokens": ["w"], '
+                    b'"location": [0.5, 0.5], "id": 2}\n',
+                    b'{"op": "results", "query_id": 0, "id": 3}\n',
+                    b'{"op": "stats", "id": 4}\n',
+                ],
+            )
+            assert [reply["ok"] for reply in good] == [True] * 4
+            # The rejected subscribes never half-registered: the first
+            # valid subscribe gets the server's first query id, 0.
+            assert good[0]["query_id"] == 0
+            assert [d["doc_id"] for d in good[2]["results"]] == [0]
+            assert good[3]["stats"]["counters"]["queries_subscribed"] == 1
+        finally:
+            await server.stop()
+            await runtime.stop()
+
+    run(scenario())
+
+
+def test_spatial_semantic_errors_are_structured_not_fatal():
+    """Options that pass the wire-shape check but violate the spatial
+    strategy's semantics (missing or out-of-range location) come back as
+    structured errors, and the server keeps running."""
+
+    async def scenario():
+        runtime, server, host, port = await start_mode_stack("spatial")
+        try:
+            replies = await raw_exchange(
+                host,
+                port,
+                [
+                    b'{"op": "subscribe", "keywords": ["w"], "id": 1}\n',
+                    b'{"op": "subscribe", "keywords": ["w"], '
+                    b'"location": [1.5, 0.5], "id": 2}\n',
+                    b'{"op": "subscribe", "keywords": ["w"], '
+                    b'"location": [-0.1, 0.2], "id": 3}\n',
+                ],
+            )
+            assert [reply["ok"] for reply in replies] == [False] * 3
+            for reply in replies:
+                assert "message" in reply["error"]
+            good = await raw_exchange(
+                host,
+                port,
+                [
+                    b'{"op": "subscribe", "keywords": ["w"], '
+                    b'"location": [0.25, 0.75], "id": 9}\n',
+                    b'{"op": "stats", "id": 10}\n',
+                ],
+            )
+            assert [reply["ok"] for reply in good] == [True, True]
+            assert good[1]["stats"]["counters"]["queries_subscribed"] == 1
         finally:
             await server.stop()
             await runtime.stop()
